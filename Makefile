@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race bench experiments examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (reduced scale).
+experiments:
+	go run ./cmd/experiments -exp all -csv results
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/multiversion
+	go run ./examples/rulegen
+	go run ./examples/pathrule
+	go run ./examples/nobel
+	go run ./examples/webtables
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,234 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section. Each BenchmarkTableX/BenchmarkFigureX runs the
+// corresponding experiment driver end-to-end at a reduced scale (one
+// iteration is a full experiment); use cmd/experiments for the
+// presentation-quality runs and -paper-scale for the paper's sizes.
+// The per-tuple micro-benchmarks at the bottom isolate the repair
+// engines themselves (bRepair vs fRepair — the Figure 8 contrast).
+package detective_test
+
+import (
+	"testing"
+
+	"detective/internal/dataset"
+	"detective/internal/eval"
+	"detective/internal/katara"
+	"detective/internal/repair"
+)
+
+// benchConfig keeps one experiment iteration small enough for
+// `go test -bench=.` while exercising every code path.
+func benchConfig() eval.ExpConfig {
+	cfg := eval.DefaultConfig()
+	cfg.NobelTuples = 300
+	cfg.UISTuples = 500
+	cfg.Rates = []float64{0.04, 0.12, 0.20}
+	cfg.TypoRates = []float64{0, 0.5, 1.0}
+	cfg.Fig8Tuples = []int{200, 400}
+	cfg.Fig8UISSize = 300
+	return cfg
+}
+
+func BenchmarkTableII(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rows := eval.TableII(cfg); len(rows) != 6 {
+			b.Fatalf("TableII returned %d rows", len(rows))
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.TableIII(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatalf("TableIII returned %d rows", len(rows))
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8a(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure8a(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8b(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure8b(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8c(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure8c(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8d(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure8d(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- per-tuple engine micro-benchmarks -------------------------------
+
+func nobelEngine(b *testing.B, n int) (*dataset.Bundle, *dataset.Injected, *repair.Engine) {
+	b.Helper()
+	bundle := dataset.NewNobel(1, n)
+	inj := bundle.Inject(dataset.Noise{Rate: 0.10, TypoFrac: 0.5, Seed: 1})
+	e, err := repair.NewEngine(bundle.Rules, bundle.Yago, bundle.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Warm()
+	return bundle, inj, e
+}
+
+// BenchmarkBRepairTuple vs BenchmarkFRepairTuple is the per-tuple view
+// of Figure 8's bRepair/fRepair gap: the basic algorithm scans class
+// extents, the fast one uses the signature indexes, rule ordering and
+// shared checks.
+func BenchmarkBRepairTuple(b *testing.B) {
+	_, inj, e := nobelEngine(b, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.BasicRepair(inj.Dirty.Tuples[i%inj.Dirty.Len()])
+	}
+}
+
+func BenchmarkFRepairTuple(b *testing.B) {
+	_, inj, e := nobelEngine(b, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.FastRepair(inj.Dirty.Tuples[i%inj.Dirty.Len()])
+	}
+}
+
+func BenchmarkRepairVersionsTuple(b *testing.B) {
+	_, inj, e := nobelEngine(b, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RepairVersions(inj.Dirty.Tuples[i%inj.Dirty.Len()])
+	}
+}
+
+func BenchmarkKATARATuple(b *testing.B) {
+	bundle, inj, _ := nobelEngine(b, 500)
+	s, err := katara.New(bundle.Pattern, bundle.Yago, bundle.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Clean(inj.Dirty.Tuples[i%inj.Dirty.Len()])
+	}
+}
+
+func BenchmarkEngineConstruction(b *testing.B) {
+	bundle := dataset.NewNobel(1, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := repair.NewEngine(bundle.Rules, bundle.Yago, bundle.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Warm()
+	}
+}
+
+// --- ablation benchmarks (the three §IV-B optimizations) -------------
+
+func benchAblation(b *testing.B, opts repair.Options) {
+	bundle := dataset.NewUIS(1, 1500)
+	inj := bundle.Inject(dataset.Noise{Rate: 0.10, TypoFrac: 0.5, Seed: 1})
+	e, err := repair.NewEngineWithOptions(bundle.Rules, bundle.Yago, bundle.Schema, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Warm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.FastRepair(inj.Dirty.Tuples[i%inj.Dirty.Len()])
+	}
+}
+
+func BenchmarkAblationFull(b *testing.B)        { benchAblation(b, repair.Options{}) }
+func BenchmarkAblationNoRuleOrder(b *testing.B) { benchAblation(b, repair.Options{NoRuleOrder: true}) }
+func BenchmarkAblationNoSharedChecks(b *testing.B) {
+	benchAblation(b, repair.Options{NoSharedChecks: true})
+}
+func BenchmarkAblationNoIndexes(b *testing.B) { benchAblation(b, repair.Options{NoIndexes: true}) }
+
+func BenchmarkRepairTableParallel(b *testing.B) {
+	bundle := dataset.NewUIS(1, 1500)
+	inj := bundle.Inject(dataset.Noise{Rate: 0.10, TypoFrac: 0.5, Seed: 1})
+	e, err := repair.NewEngine(bundle.Rules, bundle.Yago, bundle.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Warm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RepairTableParallel(inj.Dirty, 0)
+	}
+}
+
+func BenchmarkExtensionPathRule(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.ExtensionPathRule(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command detectived serves a loaded cleaning engine over HTTP:
+//
+//	detectived -kb kb.nt -rules rules.dr -schema "Name,DOB,Country,Prize,Institution,City" -addr :8080
+//
+// Endpoints (see the server package): POST /clean, POST /explain,
+// GET /rules, GET /stats, GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"detective"
+	"detective/internal/server"
+)
+
+func main() {
+	kbPath := flag.String("kb", "", "knowledge base file (triple format)")
+	rulesPath := flag.String("rules", "", "detective rules file")
+	schemaSpec := flag.String("schema", "", "comma-separated attribute names of the relation")
+	name := flag.String("name", "table", "relation name")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	if *kbPath == "" || *rulesPath == "" || *schemaSpec == "" {
+		fmt.Fprintln(os.Stderr, "usage: detectived -kb KB -rules RULES -schema A,B,C [-addr :8080]")
+		os.Exit(2)
+	}
+
+	kf, err := os.Open(*kbPath)
+	fail(err)
+	g, err := detective.ParseKB(kf)
+	kf.Close()
+	fail(err)
+
+	rf, err := os.Open(*rulesPath)
+	fail(err)
+	rs, err := detective.ParseRules(rf)
+	rf.Close()
+	fail(err)
+
+	attrs := strings.Split(*schemaSpec, ",")
+	for i := range attrs {
+		attrs[i] = strings.TrimSpace(attrs[i])
+	}
+	schema := detective.NewSchema(*name, attrs...)
+
+	s, err := server.New(rs, g, schema)
+	fail(err)
+
+	log.Printf("detectived: %d rules over %v, KB %v; listening on %s",
+		len(rs), attrs, g, *addr)
+	log.Fatal(http.ListenAndServe(*addr, s))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detectived:", err)
+		os.Exit(1)
+	}
+}

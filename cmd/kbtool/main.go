@@ -1,0 +1,105 @@
+// Command kbtool inspects a knowledge base file:
+//
+//	kbtool -kb kb.nt stats                 # size, taxonomy, largest classes
+//	kbtool -kb kb.nt entity "Avram Hershko"  # types + outgoing/incoming edges
+//	kbtool -kb kb.nt type city -limit 10   # instances of a class
+//
+// It is the debugging companion for the triple files that datagen
+// emits and detective/detectived consume.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"detective"
+	"detective/internal/kb"
+)
+
+func main() {
+	kbPath := flag.String("kb", "", "knowledge base file (triple format)")
+	limit := flag.Int("limit", 20, "maximum items to list")
+	flag.Parse()
+
+	if *kbPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: kbtool -kb KB stats | entity NAME | type CLASS")
+		os.Exit(2)
+	}
+	f, err := os.Open(*kbPath)
+	fail(err)
+	g, err := detective.ParseKB(f)
+	f.Close()
+	fail(err)
+
+	switch flag.Arg(0) {
+	case "stats":
+		fmt.Println(g.ComputeStats(10))
+	case "entity":
+		if flag.NArg() < 2 {
+			fail(fmt.Errorf("entity needs a name"))
+		}
+		entity(g, flag.Arg(1), *limit)
+	case "type":
+		if flag.NArg() < 2 {
+			fail(fmt.Errorf("type needs a class name"))
+		}
+		listType(g, flag.Arg(1), *limit)
+	default:
+		fail(fmt.Errorf("unknown command %q", flag.Arg(0)))
+	}
+}
+
+func entity(g *detective.KB, name string, limit int) {
+	id := g.Lookup(name)
+	if id == kb.Invalid {
+		fail(fmt.Errorf("entity %q not in the KB", name))
+	}
+	fmt.Printf("%s (%v)\n", name, g.KindOf(id))
+	if types := g.TypesOf(id); len(types) > 0 {
+		fmt.Print("  types:")
+		for _, c := range types {
+			fmt.Printf(" <%s>", g.Name(c))
+		}
+		fmt.Println()
+	}
+	out := g.Out(id)
+	for i, e := range out {
+		if i == limit {
+			fmt.Printf("  ... %d more outgoing\n", len(out)-limit)
+			break
+		}
+		fmt.Printf("  -%s-> %s\n", g.Name(e.Pred), g.Name(e.To))
+	}
+	in := g.In(id)
+	for i, e := range in {
+		if i == limit {
+			fmt.Printf("  ... %d more incoming\n", len(in)-limit)
+			break
+		}
+		fmt.Printf("  <-%s- %s\n", g.Name(e.Pred), g.Name(e.To))
+	}
+}
+
+func listType(g *detective.KB, cls string, limit int) {
+	id := g.Lookup(cls)
+	if id == kb.Invalid {
+		fail(fmt.Errorf("class %q not in the KB", cls))
+	}
+	insts := g.InstancesOf(id)
+	fmt.Printf("<%s>: %d instances\n", cls, len(insts))
+	for i, inst := range insts {
+		if i == limit {
+			fmt.Printf("... %d more\n", len(insts)-limit)
+			break
+		}
+		fmt.Printf("  %s\n", g.Name(inst))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kbtool:", err)
+		os.Exit(1)
+	}
+}

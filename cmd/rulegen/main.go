@@ -1,0 +1,119 @@
+// Command rulegen discovers candidate detective rules from examples
+// (§III-A of the paper):
+//
+//	rulegen -kb kb.nt -positives good.csv -negatives City=wrong_city.csv \
+//	        -sim Institution=ED,2 -out rules.dr
+//
+// positives is a CSV of fully correct tuples; each -negatives entry
+// names an attribute and a CSV of tuples wrong exactly in that
+// attribute. The generated rules are candidates for human review —
+// validate them with `detective -check-consistency` before trusting
+// them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"detective"
+)
+
+// listFlag accumulates repeated key=value flags.
+type listFlag map[string]string
+
+func (l listFlag) String() string { return fmt.Sprint(map[string]string(l)) }
+
+func (l listFlag) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want ATTR=VALUE, got %q", v)
+	}
+	l[k] = val
+	return nil
+}
+
+func main() {
+	kbPath := flag.String("kb", "", "knowledge base file (triple format)")
+	posPath := flag.String("positives", "", "CSV of correct example tuples")
+	outPath := flag.String("out", "", "output rules file (default: stdout)")
+	name := flag.String("name", "table", "relation name")
+	maxEvidence := flag.Int("max-evidence", 0, "cap on evidence nodes per rule (0 = unbounded)")
+	minSupport := flag.Float64("min-support", 0.8, "minimum type/relationship support in the examples")
+
+	negatives := listFlag{}
+	sims := listFlag{}
+	flag.Var(negatives, "negatives", "ATTR=CSV with tuples wrong exactly in ATTR (repeatable)")
+	flag.Var(sims, "sim", "ATTR=SPEC matching operation override, e.g. Institution=ED,2 (repeatable)")
+	flag.Parse()
+
+	if *kbPath == "" || *posPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: rulegen -kb KB -positives CSV [-negatives ATTR=CSV]... [-sim ATTR=SPEC]... [-out FILE]")
+		os.Exit(2)
+	}
+
+	g := mustKB(*kbPath)
+	positives := mustCSV(*name, *posPath)
+
+	negTables := make(map[string]*detective.Table, len(negatives))
+	for attr, path := range negatives {
+		negTables[attr] = mustCSV(*name, path)
+	}
+	cfg := detective.RuleGenConfig{
+		MinTypeSupport: *minSupport,
+		MinRelSupport:  *minSupport,
+		MaxEvidence:    *maxEvidence,
+		Sims:           make(map[string]detective.Sim, len(sims)),
+	}
+	for attr, spec := range sims {
+		sim, err := detective.ParseSim(spec)
+		fail(err)
+		cfg.Sims[attr] = sim
+	}
+
+	rules, err := detective.GenerateRules(g, positives.Schema, positives, negTables, cfg)
+	fail(err)
+	if len(rules) == 0 {
+		fmt.Fprintln(os.Stderr, "rulegen: no rules discovered (insufficient support or no negative semantics)")
+		os.Exit(1)
+	}
+	for _, w := range detective.AnalyzeRules(rules) {
+		fmt.Fprintf(os.Stderr, "rulegen: warning: %v\n", w)
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		fail(err)
+		defer f.Close()
+		out = f
+	}
+	fail(detective.EncodeRules(out, rules))
+	fmt.Fprintf(os.Stderr, "rulegen: wrote %d candidate rules — review before use\n", len(rules))
+}
+
+func mustKB(path string) *detective.KB {
+	f, err := os.Open(path)
+	fail(err)
+	defer f.Close()
+	g, err := detective.ParseKB(f)
+	fail(err)
+	return g
+}
+
+func mustCSV(name, path string) *detective.Table {
+	f, err := os.Open(path)
+	fail(err)
+	defer f.Close()
+	tb, err := detective.ReadCSV(name, f)
+	fail(err)
+	return tb
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rulegen:", err)
+		os.Exit(1)
+	}
+}

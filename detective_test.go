@@ -1,0 +1,200 @@
+package detective_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"detective"
+	"detective/internal/dataset"
+)
+
+// exampleKBText is the running example's KB in the public text format.
+const exampleKBText = `
+<Avram Hershko> <type> <Nobel laureates in Chemistry> .
+<Israel Institute of Technology> <type> <organization> .
+<Karcag> <type> <city> .
+<Haifa> <type> <city> .
+<Israel> <type> <country> .
+<Avram Hershko> <worksAt> <Israel Institute of Technology> .
+<Avram Hershko> <wasBornIn> <Karcag> .
+<Avram Hershko> <isCitizenOf> <Israel> .
+<Avram Hershko> <bornOnDate> "1937-12-31" .
+<Israel Institute of Technology> <locatedIn> <Haifa> .
+`
+
+const exampleRuleText = `
+rule city {
+  node w1 col="Name" type="Nobel laureates in Chemistry" sim="="
+  node w2 col="Institution" type="organization" sim="ED,2"
+  pos p col="City" type="city" sim="="
+  neg n col="City" type="city" sim="="
+  edge w1 worksAt w2
+  edge w2 locatedIn p
+  edge w1 wasBornIn n
+}
+`
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	g, err := detective.ParseKB(strings.NewReader(exampleKBText))
+	if err != nil {
+		t.Fatalf("ParseKB: %v", err)
+	}
+	rs, err := detective.ParseRules(strings.NewReader(exampleRuleText))
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	csv := "Name,Institution,City\nAvram Hershko,Israel Institute of Technology,Karcag\n"
+	tb, err := detective.ReadCSV("Nobel", strings.NewReader(csv))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	c, err := detective.NewCleaner(rs, g, tb.Schema)
+	if err != nil {
+		t.Fatalf("NewCleaner: %v", err)
+	}
+	cleaned := c.CleanTable(tb)
+	if got := cleaned.Cell(0, "City"); got != "Haifa" {
+		t.Fatalf("City = %q, want Haifa", got)
+	}
+	if !cleaned.Tuples[0].IsMarked() {
+		t.Fatal("tuple should carry positive marks")
+	}
+	if tb.Cell(0, "City") != "Karcag" {
+		t.Fatal("input table was mutated")
+	}
+}
+
+func TestPublicAPISimConstructors(t *testing.T) {
+	for _, c := range []struct {
+		sim  detective.Sim
+		text string
+	}{
+		{detective.Eq, "="},
+		{detective.EditDistance(2), "ED,2"},
+		{detective.Jaccard(0.8), "JAC,0.8"},
+		{detective.Cosine(0.7), "COS,0.7"},
+	} {
+		if c.sim.String() != c.text {
+			t.Errorf("sim %v renders %q, want %q", c.sim, c.sim.String(), c.text)
+		}
+		parsed, err := detective.ParseSim(c.text)
+		if err != nil || parsed != c.sim {
+			t.Errorf("ParseSim(%q) = %v, %v", c.text, parsed, err)
+		}
+	}
+}
+
+func TestPublicAPICleanVersions(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	c, err := detective.NewCleaner(ex.Rules, ex.KB, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := c.CleanVersions(ex.Dirty.Tuples[3])
+	if len(versions) != 2 {
+		t.Fatalf("CleanVersions = %d fixpoints, want 2", len(versions))
+	}
+	if !c.CleanBasic(ex.Dirty.Tuples[0]).EqualMarked(c.Clean(ex.Dirty.Tuples[0])) {
+		t.Fatal("CleanBasic and Clean disagree")
+	}
+}
+
+func TestPublicAPIConsistency(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	c, err := detective.NewCleaner(ex.Rules, ex.KB, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := c.CheckConsistency(ex.Dirty, 0); len(v) != 0 {
+		t.Fatalf("paper rules reported inconsistent: %v", v)
+	}
+}
+
+func TestPublicAPIRuleRoundTrip(t *testing.T) {
+	rs, err := detective.ParseRules(strings.NewReader(exampleRuleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := detective.EncodeRules(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	again, err := detective.ParseRules(&buf)
+	if err != nil || len(again) != len(rs) {
+		t.Fatalf("round trip: %v (%d rules)", err, len(again))
+	}
+}
+
+func TestPublicAPIGenerateRules(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	negatives := map[string]*detective.Table{"City": func() *detective.Table {
+		tb := &detective.Table{Schema: ex.Schema}
+		for _, tu := range ex.Truth.Tuples {
+			cl := tu.Clone()
+			cl.Values[ex.Schema.MustCol("City")] = "Karcag"
+			tb.Tuples = append(tb.Tuples, cl)
+		}
+		// Only Hershko's row is a realistic negative example (born in
+		// Karcag); keep just that one plus Curie's Warsaw.
+		tb.Tuples = tb.Tuples[:1]
+		return tb
+	}()}
+	cfg := detective.RuleGenConfig{
+		MinTypeSupport: 0.5, MinRelSupport: 0.5,
+		Sims: map[string]detective.Sim{"Institution": detective.EditDistance(2)},
+	}
+	rs, err := detective.GenerateRules(ex.KB, ex.Schema, ex.Truth, negatives, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].PosCol() != "City" {
+		t.Fatalf("GenerateRules = %v", rs)
+	}
+}
+
+func TestPublicAPIUsageAndParallel(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	c, err := detective.NewCleaner(ex.Rules, ex.KB, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := c.CleanTable(ex.Dirty)
+	parallel := c.CleanTableParallel(ex.Dirty, 3)
+	for i := range serial.Tuples {
+		if !serial.Tuples[i].EqualMarked(parallel.Tuples[i]) {
+			t.Fatalf("row %d: parallel differs", i)
+		}
+	}
+	cleaned, report := c.CleanTableWithUsage(ex.Dirty)
+	if report.Tuples != 4 || len(report.PerRule) != 4 {
+		t.Fatalf("report = %+v", report)
+	}
+	for i := range serial.Tuples {
+		if !serial.Tuples[i].EqualMarked(cleaned.Tuples[i]) {
+			t.Fatalf("row %d: usage-run differs", i)
+		}
+	}
+}
+
+func TestPublicAPIExplain(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	c, err := detective.NewCleaner(ex.Rules, ex.KB, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleaned, steps := c.Explain(ex.Dirty.Tuples[0])
+	if !cleaned.EqualMarked(c.Clean(ex.Dirty.Tuples[0])) {
+		t.Fatal("Explain result differs from Clean")
+	}
+	if len(steps) == 0 {
+		t.Fatal("no steps")
+	}
+}
+
+func TestPublicAPIAnalyzeRules(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	if ws := detective.AnalyzeRules(ex.Rules); len(ws) != 0 {
+		t.Fatalf("paper rules flagged: %v", ws)
+	}
+}

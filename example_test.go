@@ -1,0 +1,61 @@
+package detective_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"detective"
+)
+
+// Example demonstrates the whole public API on the paper's running
+// example: build a KB, define one detective rule, clean a dirty tuple,
+// and print the witnessed explanation.
+func Example() {
+	kbText := `
+<Avram Hershko> <type> <Nobel laureates in Chemistry> .
+<Israel Institute of Technology> <type> <organization> .
+<Karcag> <type> <city> .
+<Haifa> <type> <city> .
+<Avram Hershko> <worksAt> <Israel Institute of Technology> .
+<Avram Hershko> <wasBornIn> <Karcag> .
+<Israel Institute of Technology> <locatedIn> <Haifa> .
+`
+	ruleText := `
+rule city {
+  node w1 col="Name" type="Nobel laureates in Chemistry" sim="="
+  node w2 col="Institution" type="organization" sim="ED,2"
+  pos p col="City" type="city" sim="="
+  neg n col="City" type="city" sim="="
+  edge w1 worksAt w2
+  edge w2 locatedIn p
+  edge w1 wasBornIn n
+}
+`
+	g, err := detective.ParseKB(strings.NewReader(kbText))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := detective.ParseRules(strings.NewReader(ruleText))
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := detective.ReadCSV("Nobel", strings.NewReader(
+		"Name,Institution,City\nAvram Hershko,Israel Institute of Technology,Karcag\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cleaner, err := detective.NewCleaner(rules, g, table.Schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cleaned, steps := cleaner.Explain(table.Tuples[0])
+	fmt.Println(cleaned)
+	for _, s := range steps {
+		fmt.Println(s)
+	}
+	// Output:
+	// (Avram Hershko+, Israel Institute of Technology+, Haifa+)
+	// rule city: repaired City "Karcag" -> "Haifa"; marked Name, Institution, City correct [witness: n=Karcag, w1=Avram Hershko, w2=Israel Institute of Technology]
+}

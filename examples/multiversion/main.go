@@ -1,0 +1,36 @@
+// Multiversion: reproduce Example 10 of the paper — when the KB holds
+// two work institutions for Melvin Calvin, the single dirty tuple
+// cleans to two equally valid fixpoints; the cleaner returns both.
+//
+//	go run ./examples/multiversion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"detective"
+	"detective/internal/dataset"
+)
+
+func main() {
+	ex := dataset.NewPaperExample()
+	cleaner, err := detective.NewCleaner(ex.Rules, ex.KB, ex.Schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r4 := ex.Dirty.Tuples[3] // Melvin Calvin, Institution and City wrong
+	fmt.Println("dirty:", r4)
+
+	versions := cleaner.CleanVersions(r4)
+	fmt.Printf("\n%d repair fixpoints:\n", len(versions))
+	for i, v := range versions {
+		fmt.Printf("  version %d: %v\n", i+1, v)
+	}
+
+	// The deterministic single-version result is the candidate most
+	// similar to the dirty value (here "University of Manchester",
+	// closest to "University of Minnesota").
+	fmt.Println("\nsingle-version result:", cleaner.Clean(r4))
+}

@@ -1,0 +1,76 @@
+// Pathrule: the negative-path extension (§II-C remark) end-to-end.
+//
+//	go run ./examples/pathrule
+//
+// A wrong Zip that happens to be the zip code of the person's *birth*
+// city cannot be detected by a single negative node — the wrong value
+// is two KB hops away from the evidence. Declaring an existential
+// path node (`path bc type="city"`) lets the rule express
+// Name -bornIn-> ?city -hasZip-> n and both detect and repair it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"detective"
+)
+
+const kbText = `
+<Ann Meyer> <type> <person> .
+<Springfield> <type> <city> .
+<Shelbyville> <type> <city> .
+<11111> <type> <zipcode> .
+<22222> <type> <zipcode> .
+<Ann Meyer> <livesIn> <Springfield> .
+<Ann Meyer> <bornIn> <Shelbyville> .
+<Springfield> <hasZip> <11111> .
+<Shelbyville> <hasZip> <22222> .
+`
+
+const ruleText = `
+rule zip_path {
+  node e1 col="Name" type="person" sim="="
+  node e2 col="City" type="city" sim="="
+  pos  p col="Zip" type="zipcode" sim="ED,1"
+  neg  n col="Zip" type="zipcode" sim="="
+  path bc type="city"
+  edge e1 livesIn e2
+  edge e2 hasZip p
+  edge e1 bornIn bc
+  edge bc hasZip n
+}
+`
+
+func main() {
+	g, err := detective.ParseKB(strings.NewReader(kbText))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := detective.ParseRules(strings.NewReader(ruleText))
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema := detective.NewSchema("UIS", "Name", "City", "Zip")
+	cleaner, err := detective.NewCleaner(rs, g, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rows := [][]string{
+		{"Ann Meyer", "Springfield", "22222"}, // birth-city zip: the path detects it
+		{"Ann Meyer", "Springfield", "11111"}, // correct: proof positive
+		{"Ann Meyer", "Springfield", "99999"}, // unrelated zip: conservatively untouched
+	}
+	for _, vals := range rows {
+		tb := &detective.Table{Schema: schema}
+		tb.Tuples = append(tb.Tuples, &detective.Tuple{Values: vals, Marked: make([]bool, 3)})
+		cleaned, steps := cleaner.Explain(tb.Tuples[0])
+		fmt.Printf("in:  (%s)\nout: %v\n", strings.Join(vals, ", "), cleaned)
+		for _, s := range steps {
+			fmt.Println("     ", s)
+		}
+		fmt.Println()
+	}
+}

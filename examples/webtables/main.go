@@ -1,0 +1,64 @@
+// Webtables: batch-clean a corpus of small Web tables against a
+// shared KB — the paper's WebTables scenario. Thirty-seven tables from
+// ten domains (country–capital, author–book, film–director, …) are
+// cleaned with per-table rule sets; tables with only two attributes
+// use annotation-only rules, the paper's conservative stance when no
+// negative semantics can be trusted.
+//
+//	go run ./examples/webtables
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"detective"
+	"detective/internal/dataset"
+)
+
+func main() {
+	wb := dataset.NewWebTables(7)
+	fmt.Printf("cleaning %d web tables against the Yago-like KB (%v)\n\n", len(wb.Tables), wb.Yago)
+
+	totalRepaired, totalCorrect, totalMarked, totalErrors := 0, 0, 0, 0
+	for i, d := range wb.Tables {
+		inj := d.Inject(dataset.Noise{Rate: 0.10, TypoFrac: 0.6, HardFrac: 0.1,
+			SwapFallback: true, Seed: int64(i)})
+		cleaner, err := detective.NewCleaner(d.Rules, wb.Yago, d.Schema)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cleaned := cleaner.CleanTable(inj.Dirty)
+
+		repaired, correct := 0, 0
+		for r, tu := range cleaned.Tuples {
+			for c, got := range tu.Values {
+				if got == inj.Dirty.Tuples[r].Values[c] {
+					continue
+				}
+				repaired++
+				if got == d.Truth.Tuples[r].Values[c] {
+					correct++
+				}
+			}
+		}
+		totalRepaired += repaired
+		totalCorrect += correct
+		totalMarked += cleaned.NumMarked()
+		totalErrors += len(inj.Wrong)
+		if i < 5 {
+			fmt.Printf("  %-14s %2d rows  %2d errors  %2d repaired  %3d cells marked\n",
+				d.Name, d.Truth.Len(), len(inj.Wrong), repaired, cleaned.NumMarked())
+		}
+	}
+	fmt.Printf("  ... and %d more tables\n\n", len(wb.Tables)-5)
+
+	precision := 1.0
+	if totalRepaired > 0 {
+		precision = float64(totalCorrect) / float64(totalRepaired)
+	}
+	fmt.Printf("corpus: %d errors, %d repairs (precision %.2f), %d cells annotated correct\n",
+		totalErrors, totalRepaired, precision, totalMarked)
+	fmt.Println("note: 2-column tables are annotation-only — wrong values there are")
+	fmt.Println("left untouched rather than guessed, which is what keeps precision at ~1.")
+}

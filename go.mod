@@ -1,0 +1,3 @@
+module detective
+
+go 1.22

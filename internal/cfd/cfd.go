@@ -1,0 +1,168 @@
+// Package cfd implements the constant conditional functional
+// dependency baseline of the paper's Exp-2 (Fan et al., TODS 2008 —
+// reference [14]). Constant CFDs are mined from ground truth: a
+// pattern (X = x̄ → Y = y) is kept when x̄ functionally determines y
+// in the clean data. Applying them overwrites the RHS of any tuple
+// whose LHS matches — which, as the paper notes, "will make mistakes
+// if the tuple's left hand side values are wrong", and repairs
+// nothing when the LHS carries a typo.
+package cfd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"detective/internal/relation"
+)
+
+// Template names the attribute shape (X → Y) constant CFDs are mined
+// over.
+type Template struct {
+	LHS []string
+	RHS string
+}
+
+func (t Template) String() string { return fmt.Sprintf("%v -> %s", t.LHS, t.RHS) }
+
+// Rule is one mined constant CFD: ([X = x̄] → Y = y).
+type Rule struct {
+	Template
+	LHSVals []string
+	RHSVal  string
+}
+
+func (r Rule) String() string {
+	parts := make([]string, len(r.LHS))
+	for i := range r.LHS {
+		parts[i] = fmt.Sprintf("%s=%q", r.LHS[i], r.LHSVals[i])
+	}
+	return fmt.Sprintf("[%s] -> %s=%q", strings.Join(parts, ", "), r.RHS, r.RHSVal)
+}
+
+// Mine extracts constant CFDs for each template from the ground-truth
+// table: LHS patterns that map to exactly one RHS value. Patterns
+// must be witnessed by at least minSupport tuples (minSupport < 1
+// defaults to 1).
+func Mine(truth *relation.Table, templates []Template, minSupport int) ([]Rule, error) {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	var out []Rule
+	for _, tpl := range templates {
+		lhsIdx := make([]int, len(tpl.LHS))
+		for i, a := range tpl.LHS {
+			if !truth.Schema.Has(a) {
+				return nil, fmt.Errorf("cfd: template LHS attribute %q not in schema", a)
+			}
+			lhsIdx[i] = truth.Schema.MustCol(a)
+		}
+		if !truth.Schema.Has(tpl.RHS) {
+			return nil, fmt.Errorf("cfd: template RHS attribute %q not in schema", tpl.RHS)
+		}
+		rhsIdx := truth.Schema.MustCol(tpl.RHS)
+
+		type stat struct {
+			vals    map[string]int
+			support int
+			lhs     []string
+		}
+		pat := make(map[string]*stat)
+		for _, tu := range truth.Tuples {
+			key := ""
+			lhs := make([]string, len(lhsIdx))
+			for i, ci := range lhsIdx {
+				lhs[i] = tu.Values[ci]
+				key += tu.Values[ci] + "\x00"
+			}
+			st := pat[key]
+			if st == nil {
+				st = &stat{vals: make(map[string]int), lhs: lhs}
+				pat[key] = st
+			}
+			st.vals[tu.Values[rhsIdx]]++
+			st.support++
+		}
+		keys := make([]string, 0, len(pat))
+		for k := range pat {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			st := pat[k]
+			if len(st.vals) != 1 || st.support < minSupport {
+				continue // not functional in the clean data, or too rare
+			}
+			var rhs string
+			for v := range st.vals {
+				rhs = v
+			}
+			out = append(out, Rule{Template: tpl, LHSVals: st.lhs, RHSVal: rhs})
+		}
+	}
+	return out, nil
+}
+
+// Index compiles rules into a hash index for constant-time lookup per
+// tuple — the reason constant CFDs repair 100K tuples within a second
+// in the paper's Figure 8(d).
+type Index struct {
+	schema *relation.Schema
+	// one bucket per template
+	buckets []bucket
+}
+
+type bucket struct {
+	lhsIdx []int
+	rhsIdx int
+	byKey  map[string]string
+}
+
+// NewIndex builds the lookup structure over a rule set.
+func NewIndex(schema *relation.Schema, rs []Rule) *Index {
+	ix := &Index{schema: schema}
+	pos := make(map[string]int)
+	for _, r := range rs {
+		tk := r.Template.String()
+		bi, ok := pos[tk]
+		if !ok {
+			b := bucket{rhsIdx: schema.MustCol(r.RHS), byKey: make(map[string]string)}
+			for _, a := range r.LHS {
+				b.lhsIdx = append(b.lhsIdx, schema.MustCol(a))
+			}
+			bi = len(ix.buckets)
+			ix.buckets = append(ix.buckets, b)
+			pos[tk] = bi
+		}
+		key := strings.Join(r.LHSVals, "\x00")
+		ix.buckets[bi].byKey[key] = r.RHSVal
+	}
+	return ix
+}
+
+// Repair applies the rules to a copy of tb: wherever a tuple's LHS
+// values match a rule and the RHS differs, the RHS is overwritten.
+// It returns the repaired table and the changed cell coordinates.
+func (ix *Index) Repair(tb *relation.Table) (*relation.Table, [][2]int) {
+	out := tb.Clone()
+	var changed [][2]int
+	var sb strings.Builder
+	for ti, tu := range out.Tuples {
+		for _, b := range ix.buckets {
+			sb.Reset()
+			for _, ci := range b.lhsIdx {
+				sb.WriteString(tu.Values[ci])
+				sb.WriteByte(0)
+			}
+			key := sb.String()
+			key = key[:len(key)-1]
+			want, ok := b.byKey[key]
+			if !ok || tu.Values[b.rhsIdx] == want {
+				continue
+			}
+			tu.Values[b.rhsIdx] = want
+			changed = append(changed, [2]int{ti, b.rhsIdx})
+		}
+	}
+	return out, changed
+}

@@ -1,0 +1,153 @@
+package cfd_test
+
+import (
+	"strings"
+	"testing"
+
+	"detective/internal/cfd"
+	"detective/internal/relation"
+)
+
+func truthTable() *relation.Table {
+	tb := relation.NewTable(relation.NewSchema("R", "Country", "Capital"))
+	tb.Append("China", "Beijing")
+	tb.Append("China", "Beijing")
+	tb.Append("Japan", "Tokyo")
+	tb.Append("France", "Paris")
+	return tb
+}
+
+var tpl = []cfd.Template{{LHS: []string{"Country"}, RHS: "Capital"}}
+
+func TestMine(t *testing.T) {
+	rules, err := cfd.Mine(truthTable(), tpl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("mined %d rules, want 3", len(rules))
+	}
+	found := false
+	for _, r := range rules {
+		if r.LHSVals[0] == "China" && r.RHSVal == "Beijing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing China->Beijing: %v", rules)
+	}
+}
+
+func TestMineMinSupport(t *testing.T) {
+	rules, err := cfd.Mine(truthTable(), tpl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].LHSVals[0] != "China" {
+		t.Fatalf("rules = %v, want only the China pattern", rules)
+	}
+}
+
+func TestMineSkipsNonFunctionalPatterns(t *testing.T) {
+	tb := truthTable()
+	tb.Append("China", "Shanghai") // ground truth ambiguity
+	rules, err := cfd.Mine(tb, tpl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.LHSVals[0] == "China" {
+			t.Fatalf("non-functional pattern mined: %v", r)
+		}
+	}
+}
+
+func TestMineValidatesTemplates(t *testing.T) {
+	if _, err := cfd.Mine(truthTable(), []cfd.Template{{LHS: []string{"Z"}, RHS: "Capital"}}, 1); err == nil {
+		t.Error("unknown LHS: want error")
+	}
+	if _, err := cfd.Mine(truthTable(), []cfd.Template{{LHS: []string{"Country"}, RHS: "Z"}}, 1); err == nil {
+		t.Error("unknown RHS: want error")
+	}
+}
+
+func TestRepairOverwritesRHS(t *testing.T) {
+	rules, err := cfd.Mine(truthTable(), tpl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := cfd.NewIndex(truthTable().Schema, rules)
+
+	dirty := relation.NewTable(truthTable().Schema)
+	dirty.Append("China", "Shanghai") // semantic error on RHS: fixed
+	dirty.Append("Chima", "Beijing")  // typo on LHS: no rule matches
+	dirty.Append("Japan", "Tokyo")    // clean: untouched
+
+	got, changed := ix.Repair(dirty)
+	if got.Cell(0, "Capital") != "Beijing" {
+		t.Errorf("row 0 = %q, want Beijing", got.Cell(0, "Capital"))
+	}
+	if got.Cell(1, "Capital") != "Beijing" || got.Cell(1, "Country") != "Chima" {
+		t.Errorf("row 1 changed: %v (LHS typo must block the rule)", got.Tuples[1])
+	}
+	if len(changed) != 1 || changed[0] != [2]int{0, 1} {
+		t.Errorf("changed = %v", changed)
+	}
+	// Input untouched.
+	if dirty.Cell(0, "Capital") != "Shanghai" {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestRepairWrongLHSCausesWrongRepair(t *testing.T) {
+	// The paper: "constant CFDs will make mistakes if the tuple's left
+	// hand side values are wrong" — a semantically wrong LHS matches a
+	// *different* pattern and drags the RHS with it.
+	rules, err := cfd.Mine(truthTable(), tpl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := cfd.NewIndex(truthTable().Schema, rules)
+	dirty := relation.NewTable(truthTable().Schema)
+	dirty.Append("Japan", "Beijing") // truth: China/Beijing; LHS is the error
+	got, changed := ix.Repair(dirty)
+	if got.Cell(0, "Capital") != "Tokyo" {
+		t.Fatalf("Capital = %q; the wrong-LHS mistake should yield Tokyo", got.Cell(0, "Capital"))
+	}
+	if len(changed) != 1 {
+		t.Fatalf("changed = %v", changed)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	rules, err := cfd.Mine(truthTable(), tpl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rules[0].String()
+	if !strings.Contains(s, "Country=") || !strings.Contains(s, "Capital=") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestMultiAttributeLHS(t *testing.T) {
+	schema := relation.NewSchema("R", "A", "B", "C")
+	truth := relation.NewTable(schema)
+	truth.Append("x", "y", "1")
+	truth.Append("x", "z", "2")
+	tpl := []cfd.Template{{LHS: []string{"A", "B"}, RHS: "C"}}
+	rules, err := cfd.Mine(truth, tpl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("mined %d rules, want 2", len(rules))
+	}
+	ix := cfd.NewIndex(schema, rules)
+	dirty := relation.NewTable(schema)
+	dirty.Append("x", "z", "9")
+	got, _ := ix.Repair(dirty)
+	if got.Cell(0, "C") != "2" {
+		t.Fatalf("C = %q, want 2", got.Cell(0, "C"))
+	}
+}

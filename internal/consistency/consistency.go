@@ -1,0 +1,176 @@
+// Package consistency implements the practical side of the paper's
+// §III-C: deciding whether a set of detective rules is consistent —
+// i.e. whether every application order reaches the same fixpoint (the
+// repair is unique, Church-Rosser).
+//
+// The general problem is coNP-complete (Theorem 1), but with the
+// dataset at hand it is PTIME (Corollary 2): for each tuple there are
+// at most |Σ|^|R| application orders, and |R| is a constant. Check
+// follows the paper's experimental procedure — run the rules over
+// (sample) tuples under multiple distinct orders and compare the
+// fixpoints; disagreements are reported for the user to double-check
+// the selected rules.
+package consistency
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"detective/internal/relation"
+	"detective/internal/repair"
+)
+
+// Violation reports a tuple whose repair fixpoint depends on the rule
+// application order.
+type Violation struct {
+	TupleIndex int
+	// Fixpoints holds the distinct results observed, first the one
+	// from the engine's default order.
+	Fixpoints []*relation.Tuple
+	// Orders[i] is the rule order that produced Fixpoints[i].
+	Orders [][]int
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("tuple %d has %d distinct fixpoints (orders %v)",
+		v.TupleIndex, len(v.Fixpoints), v.Orders)
+}
+
+// Check runs every tuple of tb through the engine under up to
+// maxOrders distinct rule orders and reports order-dependent results.
+// maxOrders <= 0 defaults to 24. When |Σ|! <= maxOrders all
+// permutations are tried (the exact Corollary 2 procedure); otherwise
+// a deterministic family of rotations and reversals is used, which in
+// practice exposes order dependence quickly because conflicting rules
+// are tried in both relative orders.
+func Check(e *repair.Engine, tb *relation.Table, maxOrders int) []Violation {
+	if maxOrders <= 0 {
+		maxOrders = 24
+	}
+	orders := ordersFor(e.NumRules(), maxOrders)
+	var out []Violation
+	for ti, tu := range tb.Tuples {
+		var fixpoints []*relation.Tuple
+		var witness [][]int
+		for _, ord := range orders {
+			got := e.RepairWithOrder(tu, ord)
+			dup := false
+			for _, f := range fixpoints {
+				if f.EqualMarked(got) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				fixpoints = append(fixpoints, got)
+				witness = append(witness, ord)
+			}
+		}
+		if len(fixpoints) > 1 {
+			out = append(out, Violation{TupleIndex: ti, Fixpoints: fixpoints, Orders: witness})
+		}
+	}
+	return out
+}
+
+// IsConsistent reports whether Check finds no violations.
+func IsConsistent(e *repair.Engine, tb *relation.Table, maxOrders int) bool {
+	return len(Check(e, tb, maxOrders)) == 0
+}
+
+// ordersFor produces up to maxOrders distinct orders of n rules: all
+// n! permutations when they fit, otherwise rotations of the identity
+// and of its reversal.
+func ordersFor(n, maxOrders int) [][]int {
+	if fact := factorialCapped(n, maxOrders+1); fact <= maxOrders {
+		return permutations(n)
+	}
+	var out [][]int
+	id := make([]int, n)
+	for i := range id {
+		id[i] = i
+	}
+	for r := 0; r < n && len(out) < maxOrders; r++ {
+		out = append(out, rotate(id, r))
+	}
+	rev := make([]int, n)
+	for i := range rev {
+		rev[i] = n - 1 - i
+	}
+	for r := 0; r < n && len(out) < maxOrders; r++ {
+		out = append(out, rotate(rev, r))
+	}
+	return out
+}
+
+func rotate(a []int, r int) []int {
+	n := len(a)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = a[(i+r)%n]
+	}
+	return out
+}
+
+func factorialCapped(n, cap int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+		if f >= cap {
+			return cap
+		}
+	}
+	return f
+}
+
+// permutations enumerates all permutations of 0..n-1 (Heap's
+// algorithm), in a deterministic order.
+func permutations(n int) [][]int {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = i
+	}
+	var out [][]int
+	var gen func(k int)
+	gen = func(k int) {
+		if k == 1 {
+			out = append(out, append([]int(nil), a...))
+			return
+		}
+		for i := 0; i < k; i++ {
+			gen(k - 1)
+			if k%2 == 0 {
+				a[i], a[k-1] = a[k-1], a[i]
+			} else {
+				a[0], a[k-1] = a[k-1], a[0]
+			}
+		}
+	}
+	gen(n)
+	return out
+}
+
+// CheckSample is Check over a deterministic sample of sampleSize rows
+// (every row when sampleSize >= len(tb)), the scale-friendly form of
+// the paper's practice: "we run them on random sample tuples to check
+// whether they always compute the same results" (§III-C).
+func CheckSample(e *repair.Engine, tb *relation.Table, sampleSize, maxOrders int, seed int64) []Violation {
+	if sampleSize <= 0 || sampleSize >= tb.Len() {
+		return Check(e, tb, maxOrders)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sample := &relation.Table{Schema: tb.Schema}
+	idx := rng.Perm(tb.Len())[:sampleSize]
+	sort.Ints(idx)
+	remap := make([]int, 0, sampleSize)
+	for _, i := range idx {
+		sample.Tuples = append(sample.Tuples, tb.Tuples[i])
+		remap = append(remap, i)
+	}
+	vs := Check(e, sample, maxOrders)
+	for i := range vs {
+		vs[i].TupleIndex = remap[vs[i].TupleIndex]
+	}
+	return vs
+}

@@ -1,0 +1,190 @@
+package consistency_test
+
+import (
+	"testing"
+
+	"detective/internal/consistency"
+	"detective/internal/dataset"
+	"detective/internal/kb"
+	"detective/internal/relation"
+	"detective/internal/repair"
+	"detective/internal/rules"
+	"detective/internal/similarity"
+)
+
+func TestPaperRulesAreConsistent(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	e, err := repair.NewEngine(ex.Rules, ex.KB, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := consistency.Check(e, ex.Dirty, 0); len(v) != 0 {
+		t.Fatalf("paper rules inconsistent: %v", v)
+	}
+	if !consistency.IsConsistent(e, ex.Truth, 24) {
+		t.Fatal("paper rules inconsistent on clean data")
+	}
+}
+
+// conflictingFixture builds two rules that disagree on what City
+// means (lives-in vs born-in), each treating the other's semantics as
+// the negative one — a textbook inconsistent pair.
+func conflictingFixture(t *testing.T) (*repair.Engine, *relation.Table) {
+	t.Helper()
+	g := kb.New()
+	g.AddType("p", "person")
+	g.AddType("C1", "city")
+	g.AddType("C2", "city")
+	g.AddTriple("p", "livesIn", "C1")
+	g.AddTriple("p", "wasBornIn", "C2")
+
+	schema := relation.NewSchema("R", "Name", "City")
+	mk := func(name, posRel, negRel string) *rules.DR {
+		neg := rules.Node{Name: "n", Col: "City", Type: "city", Sim: similarity.Eq}
+		return &rules.DR{
+			Name:     name,
+			Evidence: []rules.Node{{Name: "e", Col: "Name", Type: "person", Sim: similarity.Eq}},
+			Pos:      rules.Node{Name: "p", Col: "City", Type: "city", Sim: similarity.Eq},
+			Neg:      &neg,
+			Edges: []rules.Edge{
+				{From: "e", Rel: posRel, To: "p"},
+				{From: "e", Rel: negRel, To: "n"},
+			},
+		}
+	}
+	e, err := repair.NewEngine([]*rules.DR{
+		mk("lives", "livesIn", "wasBornIn"),
+		mk("born", "wasBornIn", "livesIn"),
+	}, g, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := relation.NewTable(schema)
+	tb.Append("p", "C2")
+	return e, tb
+}
+
+func TestDetectsInconsistentRules(t *testing.T) {
+	e, tb := conflictingFixture(t)
+	vs := consistency.Check(e, tb, 0)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want 1", vs)
+	}
+	v := vs[0]
+	if v.TupleIndex != 0 || len(v.Fixpoints) < 2 {
+		t.Fatalf("unexpected violation %v", v)
+	}
+	if consistency.IsConsistent(e, tb, 0) {
+		t.Fatal("IsConsistent must be false")
+	}
+	if v.String() == "" {
+		t.Fatal("empty violation description")
+	}
+}
+
+func TestCheckManyRulesUsesRotations(t *testing.T) {
+	// With 5 rules and maxOrders 8, the checker cannot enumerate 120
+	// permutations; it must still terminate and find no violations for
+	// a consistent set.
+	ex := dataset.NewPaperExample()
+	five := append([]*rules.DR{}, ex.Rules...)
+	annot := &rules.DR{
+		Name:     "annot",
+		Evidence: []rules.Node{{Name: "a", Col: "Name", Type: "Nobel laureates in Chemistry", Sim: similarity.Eq}},
+		Pos:      rules.Node{Name: "p", Col: "DOB", Type: kb.LiteralClass, Sim: similarity.Eq},
+		Edges:    []rules.Edge{{From: "a", Rel: "bornOnDate", To: "p"}},
+	}
+	five = append(five, annot)
+	e, err := repair.NewEngine(five, ex.KB, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := consistency.Check(e, ex.Dirty, 8); len(vs) != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestAnalyzeFlagsOpposedRules(t *testing.T) {
+	// The lives-in/born-in pair: each rule's positive semantics is the
+	// other's negative semantics.
+	mk := func(name, posRel, negRel string) *rules.DR {
+		neg := rules.Node{Name: "n", Col: "City", Type: "city", Sim: similarity.Eq}
+		return &rules.DR{
+			Name:     name,
+			Evidence: []rules.Node{{Name: "e", Col: "Name", Type: "person", Sim: similarity.Eq}},
+			Pos:      rules.Node{Name: "p", Col: "City", Type: "city", Sim: similarity.Eq},
+			Neg:      &neg,
+			Edges: []rules.Edge{
+				{From: "e", Rel: posRel, To: "p"},
+				{From: "e", Rel: negRel, To: "n"},
+			},
+		}
+	}
+	ws := consistency.Analyze([]*rules.DR{
+		mk("lives", "livesIn", "wasBornIn"),
+		mk("born", "wasBornIn", "livesIn"),
+	})
+	if len(ws) != 1 {
+		t.Fatalf("warnings = %v, want 1", ws)
+	}
+	if ws[0].String() == "" {
+		t.Fatal("empty warning text")
+	}
+}
+
+func TestAnalyzeFlagsDivergentRepairs(t *testing.T) {
+	mk := func(name, posRel string) *rules.DR {
+		neg := rules.Node{Name: "n", Col: "City", Type: "city", Sim: similarity.Eq}
+		return &rules.DR{
+			Name:     name,
+			Evidence: []rules.Node{{Name: "e", Col: "Name", Type: "person", Sim: similarity.Eq}},
+			Pos:      rules.Node{Name: "p", Col: "City", Type: "city", Sim: similarity.Eq},
+			Neg:      &neg,
+			Edges: []rules.Edge{
+				{From: "e", Rel: posRel, To: "p"},
+				{From: "e", Rel: "visited", To: "n"},
+			},
+		}
+	}
+	ws := consistency.Analyze([]*rules.DR{mk("a", "livesIn"), mk("b", "grewUpIn")})
+	if len(ws) != 1 {
+		t.Fatalf("warnings = %v, want 1 (divergent corrections)", ws)
+	}
+}
+
+func TestAnalyzePassesPaperRules(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	if ws := consistency.Analyze(ex.Rules); len(ws) != 0 {
+		t.Fatalf("paper rules flagged: %v", ws)
+	}
+}
+
+func TestAnalyzeIgnoresDisjointColumns(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	// Rules over different columns never warn, whatever their shape.
+	if ws := consistency.Analyze(ex.Rules[:2]); len(ws) != 0 {
+		t.Fatalf("disjoint rules flagged: %v", ws)
+	}
+}
+
+func TestCheckSample(t *testing.T) {
+	e, tb := conflictingFixture(t)
+	// Pad the table with clean rows so sampling has something to skip.
+	for i := 0; i < 30; i++ {
+		tb.Append("p", "C1")
+	}
+	vs := consistency.CheckSample(e, tb, 10, 4, 7)
+	// The sample may or may not include the conflicting row 0; either
+	// way indices must refer to the original table.
+	for _, v := range vs {
+		if v.TupleIndex < 0 || v.TupleIndex >= tb.Len() {
+			t.Fatalf("violation index %d out of range", v.TupleIndex)
+		}
+	}
+	// Full-size sample equals Check.
+	all := consistency.CheckSample(e, tb, tb.Len(), 4, 7)
+	direct := consistency.Check(e, tb, 4)
+	if len(all) != len(direct) {
+		t.Fatalf("full sample %d violations vs direct %d", len(all), len(direct))
+	}
+}

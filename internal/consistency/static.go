@@ -1,0 +1,120 @@
+package consistency
+
+import (
+	"fmt"
+
+	"detective/internal/rules"
+)
+
+// Warning flags a structural interaction between two rules that can
+// produce order-dependent repairs. Static analysis is sound but not
+// complete (the general problem is coNP-complete, Theorem 1): a
+// warning is a candidate conflict for Check to confirm on data, and
+// an empty report means the common conflict patterns are absent, not
+// that the set is provably consistent.
+type Warning struct {
+	RuleA, RuleB string
+	Reason       string
+}
+
+func (w Warning) String() string {
+	return fmt.Sprintf("%s vs %s: %s", w.RuleA, w.RuleB, w.Reason)
+}
+
+// Analyze inspects every rule pair for the two classic conflict
+// shapes:
+//
+//  1. *Opposed semantics*: both rules repair the same column, and one
+//     rule's positive semantics (type + incident relationships) is the
+//     other's negative semantics. Whichever applies first wins — the
+//     lives-in/born-in flip-flop of the paper's consistency examples.
+//  2. *Divergent repairs*: both rules repair the same column with
+//     different positive semantics, so a tuple matching both negative
+//     sides can receive two different corrections.
+//
+// Rules over disjoint columns never conflict (applying one cannot
+// affect the other's evidence unless declared, which the rule graph
+// already orders).
+func Analyze(drs []*rules.DR) []Warning {
+	var out []Warning
+	for i := 0; i < len(drs); i++ {
+		for j := i + 1; j < len(drs); j++ {
+			a, b := drs[i], drs[j]
+			if a.PosCol() != b.PosCol() {
+				continue
+			}
+			if w, ok := opposed(a, b); ok {
+				out = append(out, w)
+				continue
+			}
+			if w, ok := opposed(b, a); ok {
+				out = append(out, w)
+				continue
+			}
+			if !sameSignature(posSignature(a), posSignature(b)) {
+				out = append(out, Warning{
+					RuleA: a.Name, RuleB: b.Name,
+					Reason: fmt.Sprintf("both repair column %q with different positive semantics; a tuple matching both negative sides can receive divergent corrections", a.PosCol()),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// signature is the semantic shape of one pole: its KB type plus the
+// multiset of (relationship, direction) labels on its incident edges.
+type signature struct {
+	typ   string
+	edges map[string]int
+}
+
+func poleSignature(r *rules.DR, pole rules.Node, incident []rules.Edge) signature {
+	s := signature{typ: pole.Type, edges: make(map[string]int)}
+	for _, e := range incident {
+		dir := "in"
+		if e.From == pole.Name {
+			dir = "out"
+		}
+		s.edges[e.Rel+"/"+dir]++
+	}
+	return s
+}
+
+func posSignature(r *rules.DR) signature { return poleSignature(r, r.Pos, r.PosEdges()) }
+
+func negSignature(r *rules.DR) (signature, bool) {
+	if r.Neg == nil {
+		return signature{}, false
+	}
+	return poleSignature(r, *r.Neg, r.NegEdges()), true
+}
+
+func sameSignature(a, b signature) bool {
+	if a.typ != b.typ || len(a.edges) != len(b.edges) {
+		return false
+	}
+	for k, n := range a.edges {
+		if b.edges[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// opposed reports whether a's positive semantics is b's negative
+// semantics (a "correct" value under a is a "wrong" value under b).
+func opposed(a, b *rules.DR) (Warning, bool) {
+	bn, ok := negSignature(b)
+	if !ok {
+		return Warning{}, false
+	}
+	if sameSignature(posSignature(a), bn) {
+		return Warning{
+			RuleA: a.Name, RuleB: b.Name,
+			Reason: fmt.Sprintf("the positive semantics of %s (type %q) is the negative semantics of %s on column %q: whichever rule applies first decides the value",
+				a.Name, a.Pos.Type, b.Name, a.PosCol()),
+		}, true
+	}
+	return Warning{}, false
+}

@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"detective/internal/cfd"
+	"detective/internal/kb"
+	"detective/internal/llunatic"
+	"detective/internal/relation"
+	"detective/internal/rules"
+)
+
+// KBProfile controls how a knowledge base is materialized from a
+// synthetic world. The paper evaluates the same datasets against Yago
+// and DBpedia, which "share general information" but differ in
+// taxonomic structure and coverage (§V-A); the two profiles reproduce
+// exactly those axes.
+type KBProfile struct {
+	Name string
+	// RichTaxonomy adds subclass hierarchies (Yago's distinguishing
+	// trait: "richer type/relationship hierarchies").
+	RichTaxonomy bool
+	// EntityCoverage is the probability that a world entity appears in
+	// the KB at all.
+	EntityCoverage float64
+	// FactCoverage is the probability that an individual fact
+	// (relationship/property edge) of a covered entity is present.
+	FactCoverage float64
+	// DropRelations lists relationship names entirely absent from this
+	// KB build (e.g. a shortcut relation one ontology materializes and
+	// the other does not).
+	DropRelations map[string]bool
+	// Seed decorrelates the coverage coin flips of different builds.
+	Seed int64
+}
+
+// covered flips the entity-coverage coin.
+func (p KBProfile) coveredEntity(rng *rand.Rand) bool {
+	return rng.Float64() < p.EntityCoverage
+}
+
+// keepFact flips the fact-coverage coin for relation rel.
+func (p KBProfile) keepFact(rng *rand.Rand, rel string) bool {
+	if p.DropRelations[rel] {
+		return false
+	}
+	return rng.Float64() < p.FactCoverage
+}
+
+// Dataset bundles everything an experiment needs about one relation:
+// ground truth, the key attribute (the paper evaluates tuples whose
+// key attribute resolves in the KB), the detective rules, the KATARA
+// table pattern, the ICs for the baselines, and the semantic-error
+// model for noise injection.
+type Dataset struct {
+	Name    string
+	Schema  *relation.Schema
+	Truth   *relation.Table
+	KeyAttr string
+	KeyType string // KB class the key attribute maps to
+	// ScopeByKey restricts evaluation to tuples whose key attribute
+	// resolves in the KB (the paper does this for Nobel and UIS but
+	// scores WebTables over all tuples against a manual ground truth).
+	ScopeByKey bool
+
+	Rules        []*rules.DR
+	Pattern      rules.Graph
+	FDs          []llunatic.FD
+	CFDTemplates []cfd.Template
+
+	// Semantic returns the semantically-related wrong value for a cell
+	// (e.g. the birth city in place of the work city), or ok=false if
+	// the column has no semantic confusion — the injector then falls
+	// back to a typo.
+	Semantic func(row int, col string, rng *rand.Rand) (string, bool)
+}
+
+// Bundle is a dataset together with its two KB builds.
+type Bundle struct {
+	Dataset
+	Yago    *kb.Graph
+	DBpedia *kb.Graph
+}
+
+// KB returns the build for the given KB name ("Yago" or "DBpedia").
+func (b *Bundle) KB(name string) *kb.Graph {
+	if name == "DBpedia" {
+		return b.DBpedia
+	}
+	return b.Yago
+}
+
+// KBNames lists the two KB builds in presentation order.
+var KBNames = []string{"Yago", "DBpedia"}

@@ -1,0 +1,299 @@
+package dataset_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"detective/internal/consistency"
+	"detective/internal/dataset"
+	"detective/internal/kb"
+	"detective/internal/repair"
+	"detective/internal/similarity"
+)
+
+func TestPaperExampleShape(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	if ex.Dirty.Len() != 4 || ex.Truth.Len() != 4 {
+		t.Fatalf("tables have %d/%d rows, want 4/4", ex.Dirty.Len(), ex.Truth.Len())
+	}
+	if len(ex.Rules) != 4 {
+		t.Fatalf("%d rules, want the 4 of Figure 4", len(ex.Rules))
+	}
+	for _, r := range ex.Rules {
+		if err := r.Validate(ex.Schema); err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+		}
+	}
+	// Table I errors: r1 Prize+City, r2 Institution, r3 Country+Prize,
+	// r4 Institution+City = 7 differing cells.
+	if d := ex.Dirty.Diff(ex.Truth); len(d) != 7 {
+		t.Errorf("dirty/truth differ in %d cells, want 7", len(d))
+	}
+}
+
+func TestNobelDeterminism(t *testing.T) {
+	a := dataset.NewNobel(5, 100)
+	b := dataset.NewNobel(5, 100)
+	for i := range a.Truth.Tuples {
+		if !a.Truth.Tuples[i].Equal(b.Truth.Tuples[i]) {
+			t.Fatalf("row %d differs between identical seeds", i)
+		}
+	}
+	if a.Yago.NumTriples() != b.Yago.NumTriples() {
+		t.Fatal("KB builds differ between identical seeds")
+	}
+	c := dataset.NewNobel(6, 100)
+	same := true
+	for i := range a.Truth.Tuples {
+		if !a.Truth.Tuples[i].Equal(c.Truth.Tuples[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestNobelWorldInvariants(t *testing.T) {
+	b := dataset.NewNobel(3, 300)
+	if b.Truth.Len() != 300 {
+		t.Fatalf("rows = %d", b.Truth.Len())
+	}
+	// Names are unique (they are the key attribute).
+	seen := make(map[string]bool)
+	for _, tu := range b.Truth.Tuples {
+		name := tu.Values[0]
+		if seen[name] {
+			t.Fatalf("duplicate laureate name %q", name)
+		}
+		seen[name] = true
+	}
+	// Yago covers more laureates than DBpedia (the Table III driver).
+	yago := len(b.Yago.InstancesOf(b.Yago.Lookup("Nobel laureates in Chemistry")))
+	dbp := len(b.DBpedia.InstancesOf(b.DBpedia.Lookup("Nobel laureates in Chemistry")))
+	if yago <= dbp {
+		t.Errorf("laureate coverage: Yago %d <= DBpedia %d", yago, dbp)
+	}
+	// Yago has a taxonomy; DBpedia is flat.
+	if b.Yago.Lookup("scientist") == kb.Invalid {
+		t.Error("Yago build missing taxonomy")
+	}
+	if b.DBpedia.Lookup("scientist") != kb.Invalid {
+		t.Error("DBpedia build should be flat")
+	}
+}
+
+func TestNobelRulesConsistentOnSample(t *testing.T) {
+	b := dataset.NewNobel(3, 120)
+	inj := b.Inject(dataset.Noise{Rate: 0.15, TypoFrac: 0.5, Seed: 9})
+	e, err := repair.NewEngine(b.Rules, b.Yago, b.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := consistency.Check(e, inj.Dirty, 12); len(v) != 0 {
+		t.Fatalf("Nobel rules inconsistent: %v", v)
+	}
+}
+
+func TestUISWorldInvariants(t *testing.T) {
+	b := dataset.NewUIS(3, 500)
+	if b.Truth.Len() != 500 {
+		t.Fatalf("rows = %d", b.Truth.Len())
+	}
+	zipCol := b.Schema.MustCol("Zip")
+	cityCol := b.Schema.MustCol("City")
+	stateCol := b.Schema.MustCol("State")
+	zipToCity := make(map[string]string)
+	cityToState := make(map[string]string)
+	for _, tu := range b.Truth.Tuples {
+		// Zip -> City and City -> State are functional in the truth
+		// (the FDs the Llunatic/CFD baselines rely on).
+		if c, ok := zipToCity[tu.Values[zipCol]]; ok && c != tu.Values[cityCol] {
+			t.Fatalf("zip %s maps to two cities", tu.Values[zipCol])
+		}
+		zipToCity[tu.Values[zipCol]] = tu.Values[cityCol]
+		if s, ok := cityToState[tu.Values[cityCol]]; ok && s != tu.Values[stateCol] {
+			t.Fatalf("city %s maps to two states", tu.Values[cityCol])
+		}
+		cityToState[tu.Values[cityCol]] = tu.Values[stateCol]
+	}
+	// DBpedia drops the bornInState shortcut entirely.
+	if b.DBpedia.Lookup("bornInState") != kb.Invalid {
+		t.Error("DBpedia UIS build must not materialize bornInState")
+	}
+	if b.Yago.Lookup("bornInState") == kb.Invalid {
+		t.Error("Yago UIS build must materialize bornInState")
+	}
+}
+
+func TestWebTablesShape(t *testing.T) {
+	wb := dataset.NewWebTables(11)
+	if len(wb.Tables) != 37 {
+		t.Fatalf("%d tables, want 37", len(wb.Tables))
+	}
+	totalRows := 0
+	for _, d := range wb.Tables {
+		totalRows += d.Truth.Len()
+		if d.Truth.Len() == 0 {
+			t.Errorf("table %s is empty", d.Name)
+		}
+		for _, r := range d.Rules {
+			if err := r.Validate(d.Schema); err != nil {
+				t.Errorf("%s/%s: %v", d.Name, r.Name, err)
+			}
+		}
+		if err := d.Pattern.Validate(d.Schema); err != nil {
+			t.Errorf("%s pattern: %v", d.Name, err)
+		}
+		if dom := wb.DomainOf[d.Name]; dom == "" {
+			t.Errorf("table %s has no domain", d.Name)
+		}
+	}
+	// Average ~44 tuples, as in the paper.
+	avg := float64(totalRows) / float64(len(wb.Tables))
+	if avg < 35 || avg > 55 {
+		t.Errorf("average table size %.1f, want ≈44", avg)
+	}
+	// Two-column tables exist and have annotation-only rules.
+	annotOnly := 0
+	for _, d := range wb.Tables {
+		if d.Schema.Arity() == 2 {
+			for _, r := range d.Rules {
+				if r.Neg != nil {
+					t.Errorf("2-column table %s has a repairing rule", d.Name)
+				}
+			}
+			annotOnly++
+		}
+	}
+	if annotOnly == 0 {
+		t.Error("no 2-column (annotation-only) tables generated")
+	}
+	// Total distinct rules is close to the paper's 50.
+	ruleNames := make(map[string]bool)
+	for _, d := range wb.Tables {
+		for _, r := range d.Rules {
+			ruleNames[r.Name] = true
+		}
+	}
+	if len(ruleNames) < 10 {
+		t.Errorf("only %d distinct rules", len(ruleNames))
+	}
+	// Yago lacks the paintings domain; DBpedia has everything.
+	if wb.Yago.Lookup("painting") != kb.Invalid {
+		t.Error("Yago should not cover the paintings domain")
+	}
+	if wb.DBpedia.Lookup("painting") == kb.Invalid {
+		t.Error("DBpedia should cover the paintings domain")
+	}
+}
+
+func TestInjectBasics(t *testing.T) {
+	b := dataset.NewNobel(3, 200)
+	inj := b.Inject(dataset.Noise{Rate: 0.10, TypoFrac: 0.5, Seed: 4})
+
+	wantErrors := int(0.10*float64(b.Truth.NumCells()) + 0.5)
+	if got := len(inj.Wrong); got < wantErrors-8 || got > wantErrors {
+		t.Errorf("injected %d errors, want ≈%d", got, wantErrors)
+	}
+	if inj.Typos+inj.Semantics != len(inj.Wrong) {
+		t.Errorf("typos %d + semantics %d != errors %d", inj.Typos, inj.Semantics, len(inj.Wrong))
+	}
+	// Every recorded error coordinate really differs, and holds the
+	// truth value in Wrong.
+	for cell, truth := range inj.Wrong {
+		got := inj.Dirty.Tuples[cell[0]].Values[cell[1]]
+		want := b.Truth.Tuples[cell[0]].Values[cell[1]]
+		if truth != want {
+			t.Fatalf("Wrong[%v] = %q, truth is %q", cell, truth, want)
+		}
+		if got == want {
+			t.Fatalf("cell %v recorded as wrong but equals truth", cell)
+		}
+	}
+	// Untouched cells are identical to truth.
+	diff := inj.Dirty.Diff(b.Truth)
+	if len(diff) != len(inj.Wrong) {
+		t.Errorf("%d differing cells vs %d recorded errors", len(diff), len(inj.Wrong))
+	}
+	// Truth itself is untouched.
+	if b.Truth.NumMarked() != 0 {
+		t.Error("truth gained marks")
+	}
+}
+
+func TestInjectRateExtremes(t *testing.T) {
+	b := dataset.NewNobel(3, 50)
+	if inj := b.Inject(dataset.Noise{Rate: 0, TypoFrac: 0.5, Seed: 1}); len(inj.Wrong) != 0 {
+		t.Errorf("rate 0 injected %d errors", len(inj.Wrong))
+	}
+	inj := b.Inject(dataset.Noise{Rate: 1.0, TypoFrac: 1.0, Seed: 1})
+	if len(inj.Wrong) != b.Truth.NumCells() {
+		t.Errorf("rate 1 injected %d errors, want %d", len(inj.Wrong), b.Truth.NumCells())
+	}
+	if inj.Semantics != 0 {
+		t.Errorf("TypoFrac 1 produced %d semantic errors", inj.Semantics)
+	}
+}
+
+func TestInjectTypoFracZeroPrefersSemantic(t *testing.T) {
+	b := dataset.NewNobel(3, 200)
+	inj := b.Inject(dataset.Noise{Rate: 0.2, TypoFrac: 0, Seed: 2})
+	if inj.Semantics == 0 {
+		t.Fatal("TypoFrac 0 produced no semantic errors")
+	}
+	// Typos still appear where no semantic alternative exists (e.g.
+	// the Name column).
+	if inj.Typos == 0 {
+		t.Fatal("expected typo fallbacks on columns without semantic confusions")
+	}
+}
+
+func TestTypoAlwaysDiffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(s string) bool {
+		if len(s) > 30 {
+			s = s[:30]
+		}
+		return dataset.Typo(rng, s) != s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMangleIsFarFromOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		s := "Israel Institute of Technology"
+		m := dataset.Mangle(rng, s)
+		if similarity.EDWithin(s, m, 2) {
+			t.Fatalf("Mangle produced a near-miss %q", m)
+		}
+	}
+}
+
+func TestSemanticAlternativesAreConfusable(t *testing.T) {
+	b := dataset.NewNobel(3, 100)
+	rng := rand.New(rand.NewSource(3))
+	// City alternatives are real cities in the KB (that is what makes
+	// them dangerous for IC-based repair and detectable for DRs).
+	cls := b.Yago.Lookup("city")
+	found := 0
+	for row := 0; row < b.Truth.Len(); row++ {
+		alt, ok := b.Semantic(row, "City", rng)
+		if !ok {
+			continue
+		}
+		found++
+		id := b.Yago.Lookup(alt)
+		if id == kb.Invalid || !b.Yago.HasType(id, cls) {
+			t.Fatalf("semantic City alternative %q is not a KB city", alt)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no semantic City alternatives generated")
+	}
+}

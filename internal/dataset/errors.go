@@ -1,0 +1,156 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"detective/internal/relation"
+)
+
+// Noise is the error-injection model of §V-A: a fraction Rate of all
+// data cells is corrupted; a corrupted cell receives a typo with
+// probability TypoFrac and otherwise a *semantic error* — a value
+// swapped in from a semantically related attribute of the same entity
+// (birth city for work city, graduation institution for employer, …).
+// Columns without a semantic confusion fall back to typos.
+type Noise struct {
+	Rate     float64
+	TypoFrac float64
+	// HardFrac is the fraction of typo errors that are *hard* — heavy
+	// mangling (abbreviations, truncations, re-spellings) beyond any
+	// similarity threshold a conservative rule would trust. The paper's
+	// WebTables are "dirty originally" with exactly this kind of noise;
+	// Nobel/UIS experiments keep HardFrac at 0.
+	HardFrac float64
+	// SwapFallback makes cells slated for a semantic error but lacking
+	// a semantic alternative receive a *wrong-but-valid* value from the
+	// same column of another row (misalignment/copy errors, common in
+	// real Web tables) instead of falling back to a typo.
+	SwapFallback bool
+	Seed         int64
+}
+
+// Injected is a corrupted copy of a dataset's ground truth.
+type Injected struct {
+	Dirty *relation.Table
+	Truth *relation.Table
+	// Wrong maps corrupted cell coordinates (row, col) to the ground-
+	// truth value.
+	Wrong map[[2]int]string
+	// Typos and Semantics count the injected error kinds.
+	Typos, Semantics int
+}
+
+// Inject corrupts a copy of the dataset's truth according to spec.
+func (d *Dataset) Inject(spec Noise) *Injected {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	dirty := d.Truth.Clone()
+	inj := &Injected{Dirty: dirty, Truth: d.Truth, Wrong: make(map[[2]int]string)}
+
+	total := dirty.NumCells()
+	k := int(spec.Rate*float64(total) + 0.5)
+	if k > total {
+		k = total
+	}
+	arity := d.Schema.Arity()
+	for _, cell := range rng.Perm(total)[:k] {
+		row, col := cell/arity, cell%arity
+		truthVal := d.Truth.Tuples[row].Values[col]
+		colName := d.Schema.Attrs[col]
+
+		var wrong string
+		semantic := false
+		if rng.Float64() >= spec.TypoFrac {
+			if d.Semantic != nil {
+				if alt, ok := d.Semantic(row, colName, rng); ok && alt != truthVal {
+					wrong = alt
+					semantic = true
+				}
+			}
+			if !semantic && spec.SwapFallback {
+				if alt, ok := swapValue(rng, d.Truth, row, col); ok {
+					wrong = alt
+					semantic = true
+				}
+			}
+		}
+		if !semantic {
+			if rng.Float64() < spec.HardFrac {
+				wrong = Mangle(rng, truthVal)
+			} else {
+				wrong = Typo(rng, truthVal)
+			}
+		}
+		if wrong == truthVal {
+			continue // degenerate cell (e.g. empty value); leave clean
+		}
+		dirty.Tuples[row].Values[col] = wrong
+		inj.Wrong[[2]int{row, col}] = truthVal
+		if semantic {
+			inj.Semantics++
+		} else {
+			inj.Typos++
+		}
+	}
+	return inj
+}
+
+// swapValue draws a different value for column col from another row,
+// trying a few times before giving up on constant columns.
+func swapValue(rng *rand.Rand, truth *relation.Table, row, col int) (string, bool) {
+	cur := truth.Tuples[row].Values[col]
+	for i := 0; i < 8; i++ {
+		other := truth.Tuples[rng.Intn(truth.Len())].Values[col]
+		if other != cur {
+			return other, true
+		}
+	}
+	return "", false
+}
+
+const typoAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+// Mangle applies five to eight random edits — an error no edit-
+// distance threshold used by the rules will bridge.
+func Mangle(rng *rand.Rand, s string) string {
+	out := s
+	for i := 0; i < 5+rng.Intn(4); i++ {
+		out = Typo(rng, out)
+	}
+	if out == s {
+		return s + "??"
+	}
+	return out
+}
+
+// Typo applies one or two random character edits (substitution,
+// insertion, deletion) to s, always returning a value different from
+// s when s is non-empty.
+func Typo(rng *rand.Rand, s string) string {
+	if s == "" {
+		return string(typoAlphabet[rng.Intn(len(typoAlphabet))])
+	}
+	edits := 1 + rng.Intn(2)
+	b := []byte(s)
+	for e := 0; e < edits; e++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(b) == 0: // insertion
+			pos := rng.Intn(len(b) + 1)
+			c := typoAlphabet[rng.Intn(len(typoAlphabet))]
+			b = append(b[:pos], append([]byte{c}, b[pos:]...)...)
+		case op == 1: // substitution
+			pos := rng.Intn(len(b))
+			c := typoAlphabet[rng.Intn(len(typoAlphabet))]
+			if b[pos] == c {
+				c = typoAlphabet[(int(c-typoAlphabet[0])+1)%len(typoAlphabet)]
+			}
+			b[pos] = c
+		default: // deletion
+			pos := rng.Intn(len(b))
+			b = append(b[:pos], b[pos+1:]...)
+		}
+	}
+	if string(b) == s { // e.g. insertion+deletion cancelled out
+		return s + string(typoAlphabet[rng.Intn(len(typoAlphabet))])
+	}
+	return string(b)
+}

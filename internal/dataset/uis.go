@@ -1,0 +1,321 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"detective/internal/cfd"
+	"detective/internal/kb"
+	"detective/internal/llunatic"
+	"detective/internal/relation"
+	"detective/internal/rules"
+	"detective/internal/similarity"
+)
+
+// The UIS dataset re-implements the idea of the UIS Database
+// Generator the paper uses (§V-A): synthetic person/address records,
+// UIS(Name, SSN, Address, City, State, Zip), scaled to 100K tuples.
+// The world carries birth city/state as the semantically confusable
+// counterparts of the residence columns, and the KB aligns the
+// columns to person/city/state/zipcode classes plus literals.
+
+type uisPerson struct {
+	name, ssn, address string
+	city               string // residence city
+	birthCity          string
+}
+
+type uisWorld struct {
+	states  []string
+	cities  []string
+	stateOf map[string]string   // city -> state
+	zipsOf  map[string][]string // city -> zip codes
+	zipCity map[string]string   // zip -> city
+	persons []uisPerson
+}
+
+func (w *uisWorld) zipOf(p uisPerson) string { return w.zipsOf[p.city][0] }
+
+func newUISWorld(seed int64, n int) *uisWorld {
+	rng := rand.New(rand.NewSource(seed))
+	ng := newNameGen(rng, 3)
+
+	w := &uisWorld{
+		stateOf: make(map[string]string),
+		zipsOf:  make(map[string][]string),
+		zipCity: make(map[string]string),
+	}
+	for i := 0; i < 50; i++ {
+		w.states = append(w.states, ng.Place(false))
+	}
+	zipSeen := make(map[string]bool)
+	for i := 0; i < 400; i++ {
+		city := ng.Place(true)
+		w.cities = append(w.cities, city)
+		w.stateOf[city] = pick(rng, w.states)
+		nz := 1 + rng.Intn(3)
+		for z := 0; z < nz; z++ {
+			zip := digits(rng, 5)
+			for zipSeen[zip] {
+				zip = digits(rng, 5)
+			}
+			zipSeen[zip] = true
+			w.zipsOf[city] = append(w.zipsOf[city], zip)
+			w.zipCity[zip] = city
+		}
+	}
+	streets := make([]string, 60)
+	for i := range streets {
+		streets[i] = ng.Place(false) + " Street"
+	}
+	ssnSeen := make(map[string]bool)
+	for i := 0; i < n; i++ {
+		ssn := digits(rng, 9)
+		for ssnSeen[ssn] {
+			ssn = digits(rng, 9)
+		}
+		ssnSeen[ssn] = true
+		w.persons = append(w.persons, uisPerson{
+			name:      ng.Person(),
+			ssn:       ssn,
+			address:   digits(rng, 1+rng.Intn(4)) + " " + pick(rng, streets),
+			city:      pick(rng, w.cities),
+			birthCity: pick(rng, w.cities),
+		})
+	}
+	return w
+}
+
+const (
+	clsPerson = "person"
+	clsState  = "state"
+	clsZip    = "zipcode"
+
+	relBornIn      = "bornIn"
+	relHasZip      = "hasZip"
+	relHasSSN      = "hasSSN"
+	relHasAddress  = "hasAddress"
+	relBornInState = "bornInState"
+)
+
+func buildUISKB(w *uisWorld, p KBProfile) *kb.Graph {
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := kb.New()
+	if p.RichTaxonomy {
+		g.AddSubclass(clsPerson, "agent")
+		g.AddSubclass(clsCity, "location")
+		g.AddSubclass(clsState, "location")
+	}
+	for _, city := range w.cities {
+		g.AddType(city, clsCity)
+		g.AddTriple(city, relLocatedIn, w.stateOf[city])
+		for _, zip := range w.zipsOf[city] {
+			g.AddType(zip, clsZip)
+			g.AddTriple(city, relHasZip, zip)
+		}
+	}
+	for _, st := range w.states {
+		g.AddType(st, clsState)
+	}
+	for _, pe := range w.persons {
+		if !p.coveredEntity(rng) {
+			continue
+		}
+		g.AddType(pe.name, clsPerson)
+		if p.keepFact(rng, relLivesIn) {
+			g.AddTriple(pe.name, relLivesIn, pe.city)
+		}
+		if p.keepFact(rng, relBornIn) {
+			g.AddTriple(pe.name, relBornIn, pe.birthCity)
+		}
+		if p.keepFact(rng, relBornInState) {
+			g.AddTriple(pe.name, relBornInState, w.stateOf[pe.birthCity])
+		}
+		if p.keepFact(rng, relHasSSN) {
+			g.AddPropertyTriple(pe.name, relHasSSN, pe.ssn)
+		}
+		if p.keepFact(rng, relHasAddress) {
+			g.AddPropertyTriple(pe.name, relHasAddress, pe.address)
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+// UISYagoProfile and UISDBpediaProfile are calibrated to the Table III
+// shape for UIS: Yago recall ≈ 0.73 vs DBpedia ≈ 0.63, the gap partly
+// driven by DBpedia not materializing the bornInState shortcut.
+func UISYagoProfile() KBProfile {
+	return KBProfile{Name: "Yago", RichTaxonomy: true, EntityCoverage: 0.93, FactCoverage: 0.94, Seed: 303}
+}
+
+func UISDBpediaProfile() KBProfile {
+	return KBProfile{
+		Name: "DBpedia", RichTaxonomy: false, EntityCoverage: 0.90, FactCoverage: 0.88,
+		DropRelations: map[string]bool{relBornInState: true}, Seed: 404,
+	}
+}
+
+// uisRules builds the five detective rules for UIS. City and State
+// carry full negative semantics (born-in vs lives-in); Zip, SSN and
+// Address are positive rules that mark correct values and normalize
+// typos — the conservative stance the paper takes when no negative
+// semantics is trustworthy.
+func uisRules() []*rules.DR {
+	name := func(id string) rules.Node {
+		return rules.Node{Name: id, Col: "Name", Type: clsPerson, Sim: similarity.Eq}
+	}
+	ed2 := similarity.EDK(2)
+
+	cityNeg := rules.Node{Name: "n", Col: "City", Type: clsCity, Sim: ed2}
+	rCity := &rules.DR{
+		Name:     "uis_city",
+		Evidence: []rules.Node{name("e1")},
+		Pos:      rules.Node{Name: "p", Col: "City", Type: clsCity, Sim: ed2},
+		Neg:      &cityNeg,
+		Edges: []rules.Edge{
+			{From: "e1", Rel: relLivesIn, To: "p"},
+			{From: "e1", Rel: relBornIn, To: "n"},
+		},
+	}
+
+	stateNeg := rules.Node{Name: "n", Col: "State", Type: clsState, Sim: ed2}
+	rState := &rules.DR{
+		Name: "uis_state",
+		Evidence: []rules.Node{name("e1"),
+			{Name: "e2", Col: "City", Type: clsCity, Sim: ed2}},
+		Pos: rules.Node{Name: "p", Col: "State", Type: clsState, Sim: ed2},
+		Neg: &stateNeg,
+		Edges: []rules.Edge{
+			{From: "e1", Rel: relLivesIn, To: "e2"},
+			{From: "e2", Rel: relLocatedIn, To: "p"},
+			{From: "e1", Rel: relBornInState, To: "n"},
+		},
+	}
+
+	rZip := &rules.DR{
+		Name: "uis_zip",
+		Evidence: []rules.Node{name("e1"),
+			{Name: "e2", Col: "City", Type: clsCity, Sim: ed2}},
+		Pos: rules.Node{Name: "p", Col: "Zip", Type: clsZip, Sim: similarity.EDK(1)},
+		Edges: []rules.Edge{
+			{From: "e1", Rel: relLivesIn, To: "e2"},
+			{From: "e2", Rel: relHasZip, To: "p"},
+		},
+	}
+
+	rSSN := &rules.DR{
+		Name:     "uis_ssn",
+		Evidence: []rules.Node{name("e1")},
+		Pos:      rules.Node{Name: "p", Col: "SSN", Type: kb.LiteralClass, Sim: ed2},
+		Edges:    []rules.Edge{{From: "e1", Rel: relHasSSN, To: "p"}},
+	}
+
+	rAddress := &rules.DR{
+		Name:     "uis_address",
+		Evidence: []rules.Node{name("e1")},
+		Pos:      rules.Node{Name: "p", Col: "Address", Type: kb.LiteralClass, Sim: similarity.EDK(3)},
+		Edges:    []rules.Edge{{From: "e1", Rel: relHasAddress, To: "p"}},
+	}
+
+	return []*rules.DR{rCity, rState, rZip, rSSN, rAddress}
+}
+
+// UISZipPathRule builds the negative-path variant of the Zip rule —
+// the extension the paper sketches in §II-C: a wrong Zip that is the
+// zip code of the person's *birth* city is detected through the
+// two-hop path Name -bornIn-> ?city -hasZip-> n and repaired from the
+// residence city. Swap it in for the plain uis_zip rule to measure
+// the recall gained by negative paths (see eval.ExtensionPathRule).
+func UISZipPathRule() *rules.DR {
+	ed2 := similarity.EDK(2)
+	neg := rules.Node{Name: "n", Col: "Zip", Type: clsZip, Sim: similarity.Eq}
+	return &rules.DR{
+		Name: "uis_zip_path",
+		Evidence: []rules.Node{
+			{Name: "e1", Col: "Name", Type: clsPerson, Sim: similarity.Eq},
+			{Name: "e2", Col: "City", Type: clsCity, Sim: ed2},
+		},
+		Pos:  rules.Node{Name: "p", Col: "Zip", Type: clsZip, Sim: similarity.EDK(1)},
+		Neg:  &neg,
+		Path: []rules.PathNode{{Name: "bc", Type: clsCity}},
+		Edges: []rules.Edge{
+			{From: "e1", Rel: relLivesIn, To: "e2"},
+			{From: "e2", Rel: relHasZip, To: "p"},
+			{From: "e1", Rel: relBornIn, To: "bc"},
+			{From: "bc", Rel: relHasZip, To: "n"},
+		},
+	}
+}
+
+func uisPattern() rules.Graph {
+	eq := similarity.Eq
+	return rules.Graph{
+		Nodes: []rules.Node{
+			{Name: "v1", Col: "Name", Type: clsPerson, Sim: eq},
+			{Name: "v2", Col: "SSN", Type: kb.LiteralClass, Sim: eq},
+			{Name: "v3", Col: "Address", Type: kb.LiteralClass, Sim: eq},
+			{Name: "v4", Col: "City", Type: clsCity, Sim: eq},
+			{Name: "v5", Col: "State", Type: clsState, Sim: eq},
+			{Name: "v6", Col: "Zip", Type: clsZip, Sim: eq},
+		},
+		Edges: []rules.Edge{
+			{From: "v1", Rel: relHasSSN, To: "v2"},
+			{From: "v1", Rel: relHasAddress, To: "v3"},
+			{From: "v1", Rel: relLivesIn, To: "v4"},
+			{From: "v4", Rel: relLocatedIn, To: "v5"},
+			{From: "v4", Rel: relHasZip, To: "v6"},
+		},
+	}
+}
+
+// NewUIS builds the UIS bundle with n tuples (the paper scales to
+// 100K).
+func NewUIS(seed int64, n int) *Bundle {
+	w := newUISWorld(seed, n)
+	schema := relation.NewSchema("UIS", "Name", "SSN", "Address", "City", "State", "Zip")
+	truth := relation.NewTable(schema)
+	for _, pe := range w.persons {
+		truth.Append(pe.name, pe.ssn, pe.address, pe.city, w.stateOf[pe.city], w.zipOf(pe))
+	}
+	d := Dataset{
+		Name:    "UIS",
+		Schema:  schema,
+		Truth:   truth,
+		KeyAttr:    "Name",
+		ScopeByKey: true,
+		KeyType: clsPerson,
+		Rules:   uisRules(),
+		Pattern: uisPattern(),
+		FDs: []llunatic.FD{
+			{LHS: []string{"Zip"}, RHS: "City"},
+			{LHS: []string{"City"}, RHS: "State"},
+		},
+		CFDTemplates: []cfd.Template{
+			{LHS: []string{"Zip"}, RHS: "City"},
+			{LHS: []string{"City"}, RHS: "State"},
+		},
+		Semantic: func(row int, col string, rng *rand.Rand) (string, bool) {
+			pe := w.persons[row]
+			switch col {
+			case "City":
+				if pe.birthCity != pe.city {
+					return pe.birthCity, true
+				}
+			case "State":
+				if bs := w.stateOf[pe.birthCity]; bs != w.stateOf[pe.city] {
+					return bs, true
+				}
+			case "Zip":
+				if bz := w.zipsOf[pe.birthCity][0]; bz != w.zipOf(pe) {
+					return bz, true
+				}
+			}
+			return "", false
+		},
+	}
+	return &Bundle{
+		Dataset: d,
+		Yago:    buildUISKB(w, UISYagoProfile()),
+		DBpedia: buildUISKB(w, UISDBpediaProfile()),
+	}
+}

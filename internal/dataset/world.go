@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"detective/internal/similarity"
+)
+
+// nameGen produces pronounceable synthetic names that are pairwise
+// more than minED edit operations apart, so that fuzzy matching in
+// the experiments never confuses two distinct entities. Uniqueness is
+// enforced with the same signature index the repair engine uses.
+type nameGen struct {
+	rng   *rand.Rand
+	minED int
+	index *similarity.StringIndex
+	count int
+}
+
+func newNameGen(rng *rand.Rand, minED int) *nameGen {
+	return &nameGen{rng: rng, minED: minED, index: similarity.NewStringIndex(minED)}
+}
+
+var (
+	onsets  = []string{"b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p", "pr", "r", "s", "st", "t", "tr", "v", "w", "z"}
+	vowels  = []string{"a", "e", "i", "o", "u", "ai", "ea", "io", "ou"}
+	codas   = []string{"", "l", "m", "n", "r", "s", "t", "ck", "nd", "st"}
+	suffixe = []string{"", "ia", "land", "ville", "berg", "ton", "stead", "mont", "field", "haven"}
+)
+
+// word builds one random word of syllables syllables, capitalized.
+func (g *nameGen) word(syllables int) string {
+	var b strings.Builder
+	for i := 0; i < syllables; i++ {
+		b.WriteString(onsets[g.rng.Intn(len(onsets))])
+		b.WriteString(vowels[g.rng.Intn(len(vowels))])
+		b.WriteString(codas[g.rng.Intn(len(codas))])
+	}
+	s := b.String()
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// fresh returns a new name built by gen that is more than minED edits
+// from every name issued before (across all calls). It retries with
+// growing length and ultimately appends a unique numeric suffix, so it
+// always terminates.
+func (g *nameGen) fresh(gen func() string) string {
+	for attempt := 0; attempt < 40; attempt++ {
+		s := gen()
+		if len(g.index.LookupED(s, g.minED)) == 0 {
+			g.index.Add(s, int32(g.count))
+			g.count++
+			return s
+		}
+	}
+	s := fmt.Sprintf("%s %d", gen(), g.count)
+	g.index.Add(s, int32(g.count))
+	g.count++
+	return s
+}
+
+// Place returns a fresh place name ("Brandon Village" style).
+func (g *nameGen) Place(suffix bool) string {
+	return g.fresh(func() string {
+		s := g.word(1 + g.rng.Intn(2))
+		if suffix {
+			s += suffixe[g.rng.Intn(len(suffixe))]
+		}
+		return s
+	})
+}
+
+// Person returns a fresh "First Last" person name.
+func (g *nameGen) Person() string {
+	return g.fresh(func() string {
+		return g.word(1+g.rng.Intn(2)) + " " + g.word(1+g.rng.Intn(2))
+	})
+}
+
+// Phrase returns a fresh multi-word phrase assembled from the given
+// parts plus a generated word, e.g. institution or award names.
+func (g *nameGen) Phrase(parts ...string) string {
+	return g.fresh(func() string {
+		return strings.Join(append([]string{g.word(1 + g.rng.Intn(2))}, parts...), " ")
+	})
+}
+
+// date renders a deterministic pseudo-date between 1850 and 1999.
+func randDate(rng *rand.Rand) string {
+	y := 1850 + rng.Intn(150)
+	m := 1 + rng.Intn(12)
+	d := 1 + rng.Intn(28)
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+// digits renders n random digits (SSNs, zips, street numbers).
+func digits(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('0' + rng.Intn(10))
+	}
+	return string(b)
+}
+
+// pick returns a uniformly random element of xs.
+func pick[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.Intn(len(xs))]
+}
+
+// pickOther returns a uniformly random element of xs different from
+// not, assuming one exists.
+func pickOther(rng *rand.Rand, xs []string, not string) string {
+	for {
+		x := xs[rng.Intn(len(xs))]
+		if x != not {
+			return x
+		}
+	}
+}

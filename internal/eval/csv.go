@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV exports of the experiment results, in long (tidy) format so the
+// paper's figures can be re-plotted directly with any tool.
+
+// AlignCSV writes Table II rows as CSV.
+func AlignCSV(w io.Writer, rows []AlignRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "kb", "classes", "relations"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Dataset, r.KB,
+			fmt.Sprint(r.Classes), fmt.Sprint(r.Relations)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// QualityCSV writes Table III rows as CSV.
+func QualityCSV(w io.Writer, rows []QualityRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "system", "kb", "precision", "recall", "f1", "pos"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Dataset, r.System, r.KB,
+			fmt.Sprintf("%.4f", r.P), fmt.Sprintf("%.4f", r.R),
+			fmt.Sprintf("%.4f", r.F), fmt.Sprint(r.POS)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CurvesCSV writes Figure 6/7 curves as tidy CSV (one row per point).
+func CurvesCSV(w io.Writer, curves []Curve) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "system", "x", "precision", "recall", "f1"}); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			if err := cw.Write([]string{c.Dataset, c.System,
+				fmt.Sprintf("%g", p.X), fmt.Sprintf("%.4f", p.P),
+				fmt.Sprintf("%.4f", p.R), fmt.Sprintf("%.4f", p.F)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TimeCurvesCSV writes Figure 8 curves as tidy CSV.
+func TimeCurvesCSV(w io.Writer, curves []TimeCurve) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"system", "x", "seconds"}); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			if err := cw.Write([]string{c.Label,
+				fmt.Sprintf("%g", p.X), fmt.Sprintf("%.6f", p.Seconds)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExtensionCSV writes the negative-path ablation as CSV.
+func ExtensionCSV(w io.Writer, rows []ExtensionRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"variant", "kb", "precision", "recall", "f1"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Variant, r.KB,
+			fmt.Sprintf("%.4f", r.P), fmt.Sprintf("%.4f", r.R), fmt.Sprintf("%.4f", r.F)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

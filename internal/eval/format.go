@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// PrintTableII renders the alignment statistics in the layout of the
+// paper's Table II.
+func PrintTableII(w io.Writer, rows []AlignRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TABLE II. DATASETS (ALIGNED CLASSES AND RELATIONS)")
+	fmt.Fprintln(tw, "Dataset\tKB\t#-class\t#-relationship")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\n", r.Dataset, r.KB, r.Classes, r.Relations)
+	}
+	tw.Flush()
+}
+
+// PrintTableIII renders the quality comparison in the layout of the
+// paper's Table III.
+func PrintTableIII(w io.Writer, rows []QualityRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TABLE III. DATA ANNOTATION AND REPAIR ACCURACY")
+	fmt.Fprintln(tw, "Dataset\tSystem\tKB\tPrecision\tRecall\tF-measure\t#-POS")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%.2f\t%.2f\t%d\n",
+			r.Dataset, r.System, r.KB, r.P, r.R, r.F, r.POS)
+	}
+	tw.Flush()
+}
+
+// PrintCurves renders Figure 6/7-style quality curves, one block per
+// (dataset, metric) sub-plot, matching the paper's six panels.
+func PrintCurves(w io.Writer, title, xlabel string, curves []Curve) {
+	fmt.Fprintln(w, title)
+	metrics := []struct {
+		name string
+		get  func(CurvePoint) float64
+	}{
+		{"Precision", func(p CurvePoint) float64 { return p.P }},
+		{"Recall", func(p CurvePoint) float64 { return p.R }},
+		{"F-measure", func(p CurvePoint) float64 { return p.F }},
+	}
+	// Group curves by dataset, preserving order of first appearance.
+	var datasets []string
+	seen := make(map[string]bool)
+	for _, c := range curves {
+		if !seen[c.Dataset] {
+			seen[c.Dataset] = true
+			datasets = append(datasets, c.Dataset)
+		}
+	}
+	for _, m := range metrics {
+		for _, ds := range datasets {
+			fmt.Fprintf(w, "\n%s (%s)\n", m.name, ds)
+			tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintf(tw, "%s", xlabel)
+			var sel []Curve
+			for _, c := range curves {
+				if c.Dataset == ds {
+					sel = append(sel, c)
+					fmt.Fprintf(tw, "\t%s", c.System)
+				}
+			}
+			fmt.Fprintln(tw)
+			if len(sel) == 0 {
+				tw.Flush()
+				continue
+			}
+			for i := range sel[0].Points {
+				fmt.Fprintf(tw, "%g", sel[0].Points[i].X)
+				for _, c := range sel {
+					fmt.Fprintf(tw, "\t%.2f", m.get(c.Points[i]))
+				}
+				fmt.Fprintln(tw)
+			}
+			tw.Flush()
+		}
+	}
+}
+
+// PrintTimeCurves renders Figure 8-style efficiency curves.
+func PrintTimeCurves(w io.Writer, title, xlabel string, curves []TimeCurve) {
+	fmt.Fprintln(w, title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s", xlabel)
+	for _, c := range curves {
+		fmt.Fprintf(tw, "\t%s", c.Label)
+	}
+	fmt.Fprintln(tw)
+	if len(curves) == 0 {
+		tw.Flush()
+		return
+	}
+	for i := range curves[0].Points {
+		fmt.Fprintf(tw, "%g", curves[0].Points[i].X)
+		for _, c := range curves {
+			if i < len(c.Points) {
+				fmt.Fprintf(tw, "\t%.3fs", c.Points[i].Seconds)
+			} else {
+				fmt.Fprintf(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// PrintExtension renders the negative-path ablation.
+func PrintExtension(w io.Writer, rows []ExtensionRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "EXTENSION. NEGATIVE PATHS ON UIS (ZIP RULE)")
+	fmt.Fprintln(tw, "Variant\tKB\tPrecision\tRecall\tF-measure")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\n", r.Variant, r.KB, r.P, r.R, r.F)
+	}
+	tw.Flush()
+}

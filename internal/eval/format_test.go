@@ -1,0 +1,154 @@
+package eval_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"detective/internal/eval"
+)
+
+func TestPrintTableII(t *testing.T) {
+	var buf bytes.Buffer
+	eval.PrintTableII(&buf, []eval.AlignRow{
+		{Dataset: "Nobel", KB: "Yago", Classes: 5, Relations: 4},
+		{Dataset: "Nobel", KB: "DBpedia", Classes: 5, Relations: 4},
+	})
+	out := buf.String()
+	for _, want := range []string{"TABLE II", "Nobel", "Yago", "DBpedia", "5", "4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintTableIII(t *testing.T) {
+	var buf bytes.Buffer
+	eval.PrintTableIII(&buf, []eval.QualityRow{
+		{Dataset: "UIS", System: "DRs", KB: "Yago", P: 1, R: 0.73, F: 0.84, POS: 77001},
+	})
+	out := buf.String()
+	for _, want := range []string{"TABLE III", "UIS", "DRs", "1.00", "0.73", "0.84", "77001"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintCurves(t *testing.T) {
+	var buf bytes.Buffer
+	curves := []eval.Curve{
+		{Dataset: "Nobel", System: "bRepair(Yago)", Points: []eval.CurvePoint{
+			{X: 4, P: 1, R: 0.7, F: 0.82}, {X: 8, P: 1, R: 0.71, F: 0.83},
+		}},
+		{Dataset: "Nobel", System: "Llunatic", Points: []eval.CurvePoint{
+			{X: 4, P: 0.6, R: 0.3, F: 0.4}, {X: 8, P: 0.55, R: 0.28, F: 0.37},
+		}},
+	}
+	eval.PrintCurves(&buf, "FIGURE 6", "err%", curves)
+	out := buf.String()
+	for _, want := range []string{"FIGURE 6", "Precision (Nobel)", "Recall (Nobel)", "F-measure (Nobel)", "bRepair(Yago)", "Llunatic", "0.82"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Empty input must not panic.
+	eval.PrintCurves(&buf, "EMPTY", "x", nil)
+}
+
+func TestPrintTimeCurves(t *testing.T) {
+	var buf bytes.Buffer
+	eval.PrintTimeCurves(&buf, "FIGURE 8(b)", "#-rule", []eval.TimeCurve{
+		{Label: "bRepair(Yago)", Points: []eval.TimePoint{{X: 1, Seconds: 0.5}, {X: 2, Seconds: 1.25}}},
+		{Label: "fRepair(Yago)", Points: []eval.TimePoint{{X: 1, Seconds: 0.1}}}, // ragged
+	})
+	out := buf.String()
+	for _, want := range []string{"FIGURE 8(b)", "#-rule", "0.500s", "1.250s", "0.100s", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	eval.PrintTimeCurves(&buf, "EMPTY", "x", nil)
+}
+
+func TestPrintExtension(t *testing.T) {
+	var buf bytes.Buffer
+	eval.PrintExtension(&buf, []eval.ExtensionRow{
+		{Variant: "single negative node", KB: "Yago", P: 1, R: 0.79, F: 0.88},
+	})
+	if !strings.Contains(buf.String(), "0.79") {
+		t.Errorf("output: %s", buf.String())
+	}
+}
+
+func TestKeyScopeAndMarkedInScope(t *testing.T) {
+	// Covered by run.go paths implicitly; exercise the edge cases here.
+	b := newTinyNobel(t)
+	scope := eval.KeyScope(b.Truth, b.Yago, "Name", "Nobel laureates in Chemistry")
+	inScope := 0
+	for _, ok := range scope {
+		if ok {
+			inScope++
+		}
+	}
+	if inScope == 0 || inScope > b.Truth.Len() {
+		t.Fatalf("inScope = %d of %d", inScope, b.Truth.Len())
+	}
+	// Unknown key type: nothing in scope.
+	none := eval.KeyScope(b.Truth, b.Yago, "Name", "no-such-class")
+	for i, ok := range none {
+		if ok {
+			t.Fatalf("row %d in scope for unknown class", i)
+		}
+	}
+	// MarkedInScope with nil scope counts everything.
+	b.Truth.Tuples[0].Marked[0] = true
+	if got := eval.MarkedInScope(b.Truth, nil); got != 1 {
+		t.Fatalf("MarkedInScope = %d", got)
+	}
+	b.Truth.Tuples[0].Marked[0] = false
+}
+
+func TestCSVExports(t *testing.T) {
+	var buf bytes.Buffer
+	if err := eval.AlignCSV(&buf, []eval.AlignRow{{Dataset: "Nobel", KB: "Yago", Classes: 5, Relations: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Nobel,Yago,5,4") {
+		t.Errorf("AlignCSV: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := eval.QualityCSV(&buf, []eval.QualityRow{{Dataset: "UIS", System: "DRs", KB: "Yago", P: 1, R: 0.73, F: 0.84, POS: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "UIS,DRs,Yago,1.0000,0.7300,0.8400,7") {
+		t.Errorf("QualityCSV: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := eval.CurvesCSV(&buf, []eval.Curve{{Dataset: "Nobel", System: "s",
+		Points: []eval.CurvePoint{{X: 4, P: 1, R: 0.5, F: 0.66}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Nobel,s,4,1.0000,0.5000,0.6600") {
+		t.Errorf("CurvesCSV: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := eval.TimeCurvesCSV(&buf, []eval.TimeCurve{{Label: "fRepair",
+		Points: []eval.TimePoint{{X: 1000, Seconds: 0.25}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fRepair,1000,0.250000") {
+		t.Errorf("TimeCurvesCSV: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := eval.ExtensionCSV(&buf, []eval.ExtensionRow{{Variant: "v", KB: "Yago", P: 1, R: 0.8, F: 0.88}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "v,Yago,1.0000,0.8000,0.8800") {
+		t.Errorf("ExtensionCSV: %s", buf.String())
+	}
+}

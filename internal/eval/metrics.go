@@ -1,0 +1,148 @@
+// Package eval implements the paper's evaluation harness (§V):
+// cell-level precision / recall / F-measure, the #-POS annotation
+// count, per-system runners, and drivers that regenerate every table
+// and figure of the evaluation section.
+package eval
+
+import (
+	"detective/internal/kb"
+	"detective/internal/llunatic"
+	"detective/internal/relation"
+)
+
+// Metrics aggregates repair-quality counts. Precision is the ratio of
+// correctly repaired attribute values to all repaired values; recall
+// the ratio of correctly repaired values to all erroneous values;
+// F-measure their harmonic mean (§V-A "Measuring Quality").
+// CorrectRepairs is fractional because a cell repaired to a llun
+// counts 0.5 (Llunatic's "metric 0.5").
+type Metrics struct {
+	Repaired       int
+	CorrectRepairs float64
+	Errors         int
+	POS            int
+}
+
+// Add accumulates other into m (used to aggregate over the 37 Web
+// tables).
+func (m *Metrics) Add(o Metrics) {
+	m.Repaired += o.Repaired
+	m.CorrectRepairs += o.CorrectRepairs
+	m.Errors += o.Errors
+	m.POS += o.POS
+}
+
+// Precision returns correct/repaired (1 when nothing was repaired:
+// no wrong repairs were made).
+func (m Metrics) Precision() float64 {
+	if m.Repaired == 0 {
+		return 1
+	}
+	return m.CorrectRepairs / float64(m.Repaired)
+}
+
+// Recall returns correct/errors (1 when there were no errors).
+func (m Metrics) Recall() float64 {
+	if m.Errors == 0 {
+		return 1
+	}
+	return m.CorrectRepairs / float64(m.Errors)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// ScoreOpts tunes Score.
+type ScoreOpts struct {
+	// Scope restricts accounting to the given rows (nil = all rows).
+	// The paper evaluates "the tuples whose value in key attribute
+	// have corresponding entities in KBs"; use KeyScope to build this.
+	Scope []bool
+	// LlunPartial counts cells repaired to the llunatic.Llun variable
+	// as 0.5 correct when the cell was indeed erroneous.
+	LlunPartial bool
+	// Alternatives maps repaired cells to their full multi-version
+	// candidate list; a repair counts as correct when any version
+	// matches the ground truth (the paper's multi-version accounting,
+	// §V-A "Detective Rules").
+	Alternatives map[[2]int][]string
+}
+
+// Score compares a system's output against ground truth at the cell
+// level. wrong maps corrupted cells to their true values (from the
+// noise injector); POS is not filled here (it depends on the system —
+// see the runners).
+func Score(truth, dirty, repaired *relation.Table, wrong map[[2]int]string, opts ScoreOpts) Metrics {
+	var m Metrics
+	inScope := func(row int) bool { return opts.Scope == nil || opts.Scope[row] }
+	for cell, truthVal := range wrong {
+		if inScope(cell[0]) {
+			m.Errors++
+			_ = truthVal
+		}
+	}
+	for i := range repaired.Tuples {
+		if !inScope(i) {
+			continue
+		}
+		for j := range repaired.Tuples[i].Values {
+			got := repaired.Tuples[i].Values[j]
+			if got == dirty.Tuples[i].Values[j] {
+				continue // not repaired
+			}
+			m.Repaired++
+			want := truth.Tuples[i].Values[j]
+			switch {
+			case got == want:
+				m.CorrectRepairs++
+			case opts.LlunPartial && got == llunatic.Llun:
+				if _, wasError := wrong[[2]int{i, j}]; wasError {
+					m.CorrectRepairs += 0.5
+				}
+			default:
+				for _, alt := range opts.Alternatives[[2]int{i, j}] {
+					if alt == want {
+						m.CorrectRepairs++
+						break
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// KeyScope returns the per-row eligibility mask: a row is in scope
+// when its key-attribute value (in the dirty table, i.e. as the
+// cleaning system sees it) resolves to a KB instance of the key type.
+func KeyScope(dirty *relation.Table, g *kb.Graph, keyAttr, keyType string) []bool {
+	col := dirty.Schema.MustCol(keyAttr)
+	cls := g.Lookup(keyType)
+	out := make([]bool, dirty.Len())
+	if cls == kb.Invalid {
+		return out
+	}
+	for i, tu := range dirty.Tuples {
+		id := g.Lookup(tu.Values[col])
+		out[i] = id != kb.Invalid && g.HasType(id, cls)
+	}
+	return out
+}
+
+// MarkedInScope counts positively marked cells in scope rows (#-POS
+// for detective rules).
+func MarkedInScope(tb *relation.Table, scope []bool) int {
+	n := 0
+	for i, tu := range tb.Tuples {
+		if scope == nil || scope[i] {
+			n += tu.NumMarked()
+		}
+	}
+	return n
+}

@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"detective/internal/cfd"
+	"detective/internal/dataset"
+	"detective/internal/katara"
+	"detective/internal/kb"
+	"detective/internal/llunatic"
+	"detective/internal/repair"
+)
+
+// RunResult is one system's outcome on one injected dataset.
+type RunResult struct {
+	System   string
+	Metrics  Metrics
+	Duration time.Duration
+}
+
+// RunDR cleans inj with detective rules against the given KB.
+// fast selects fRepair; the quality numbers of bRepair and fRepair are
+// identical (Church-Rosser), so quality experiments use fast=true and
+// only the efficiency experiments exercise both.
+func RunDR(d *dataset.Dataset, g *kb.Graph, inj *dataset.Injected, fast bool) (RunResult, error) {
+	e, err := repair.NewEngine(d.Rules, g, d.Schema)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("eval: %s: %w", d.Name, err)
+	}
+	start := time.Now()
+	repaired, alts := e.RepairTableWithAlternatives(inj.Dirty, fast)
+	dur := time.Since(start)
+
+	var scope []bool
+	if d.ScopeByKey {
+		scope = KeyScope(inj.Dirty, g, d.KeyAttr, d.KeyType)
+	}
+	m := Score(inj.Truth, inj.Dirty, repaired, inj.Wrong, ScoreOpts{Scope: scope, Alternatives: alts})
+	m.POS = MarkedInScope(repaired, scope)
+	name := "fRepair"
+	if !fast {
+		name = "bRepair"
+	}
+	return RunResult{System: name, Metrics: m, Duration: dur}, nil
+}
+
+// RunKATARA cleans inj with the simulated KATARA system.
+func RunKATARA(d *dataset.Dataset, g *kb.Graph, inj *dataset.Injected) (RunResult, error) {
+	s, err := katara.New(d.Pattern, g, d.Schema)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("eval: %s: %w", d.Name, err)
+	}
+	start := time.Now()
+	repaired, pos := s.CleanTable(inj.Dirty)
+	dur := time.Since(start)
+
+	var scope []bool
+	if d.ScopeByKey {
+		scope = KeyScope(inj.Dirty, g, d.KeyAttr, d.KeyType)
+	}
+	m := Score(inj.Truth, inj.Dirty, repaired, inj.Wrong, ScoreOpts{Scope: scope})
+	// #-POS for KATARA counts cells of fully matched tuples only; the
+	// CleanTable count is global, so recount in scope.
+	m.POS = 0
+	for i, tu := range repaired.Tuples {
+		if (scope == nil || scope[i]) && tu.IsMarked() {
+			m.POS += tu.NumMarked()
+		}
+	}
+	_ = pos
+	return RunResult{System: "KATARA", Metrics: m, Duration: dur}, nil
+}
+
+// RunLlunatic cleans inj with the FD-based baseline. No KB and no
+// key-attribute scope: ICs see the whole table, and the paper scores
+// them with metric 0.5 for lluns.
+func RunLlunatic(d *dataset.Dataset, inj *dataset.Injected) (RunResult, error) {
+	start := time.Now()
+	res, err := llunatic.Repair(inj.Dirty, d.FDs)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("eval: %s: %w", d.Name, err)
+	}
+	dur := time.Since(start)
+	m := Score(inj.Truth, inj.Dirty, res.Table, inj.Wrong, ScoreOpts{LlunPartial: true})
+	return RunResult{System: "Llunatic", Metrics: m, Duration: dur}, nil
+}
+
+// RunCFD cleans inj with constant CFDs mined from ground truth (the
+// paper's protocol for this baseline).
+func RunCFD(d *dataset.Dataset, inj *dataset.Injected) (RunResult, error) {
+	rules, err := cfd.Mine(inj.Truth, d.CFDTemplates, 1)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("eval: %s: %w", d.Name, err)
+	}
+	ix := cfd.NewIndex(d.Schema, rules)
+	start := time.Now()
+	repaired, _ := ix.Repair(inj.Dirty)
+	dur := time.Since(start)
+	m := Score(inj.Truth, inj.Dirty, repaired, inj.Wrong, ScoreOpts{})
+	return RunResult{System: "constant CFDs", Metrics: m, Duration: dur}, nil
+}

@@ -1,0 +1,42 @@
+package katara
+
+import (
+	"fmt"
+
+	"detective/internal/kb"
+	"detective/internal/relation"
+	"detective/internal/rulegen"
+	"detective/internal/rules"
+	"detective/internal/similarity"
+)
+
+// DiscoverPattern derives a table pattern from a sample of (mostly
+// correct) tuples, the way KATARA bootstraps its patterns from table
+// semantics: the columns are typed against the KB and connected by
+// the best-supported relationships, with matching forced to exact
+// (KATARA does not support fuzzy matching). It fails when the sample
+// does not support a connected pattern over every column — KATARA
+// needs a *global* table interpretation, unlike detective rules'
+// local ones (§I, "table patterns ... a holistic way").
+func DiscoverPattern(g *kb.Graph, schema *relation.Schema, sample *relation.Table,
+	minSupport float64) (rules.Graph, error) {
+
+	cfg := rulegen.Config{MinTypeSupport: minSupport, MinRelSupport: minSupport}
+	d, err := rulegen.DiscoverGraph(g, schema, sample, cfg)
+	if err != nil {
+		return rules.Graph{}, err
+	}
+	pattern := d.Graph
+	for i := range pattern.Nodes {
+		pattern.Nodes[i].Sim = similarity.Eq
+	}
+	if len(pattern.Nodes) != schema.Arity() {
+		return rules.Graph{}, fmt.Errorf(
+			"katara: pattern covers %d of %d columns (KATARA needs a holistic interpretation)",
+			len(pattern.Nodes), schema.Arity())
+	}
+	if err := pattern.Validate(schema); err != nil {
+		return rules.Graph{}, fmt.Errorf("katara: discovered pattern: %w", err)
+	}
+	return pattern, nil
+}

@@ -1,0 +1,233 @@
+package katara_test
+
+import (
+	"testing"
+
+	"detective/internal/dataset"
+	"detective/internal/katara"
+	"detective/internal/kb"
+	"detective/internal/rules"
+	"detective/internal/similarity"
+)
+
+// paperPattern is the Figure 2 table pattern with exact matching
+// everywhere (KATARA does not support fuzzy matching).
+func paperPattern() rules.Graph {
+	node := func(name, col, typ string) rules.Node {
+		return rules.Node{Name: name, Col: col, Type: typ, Sim: similarity.Eq}
+	}
+	return rules.Graph{
+		Nodes: []rules.Node{
+			node("v1", "Name", "Nobel laureates in Chemistry"),
+			node("v2", "DOB", kb.LiteralClass),
+			node("v3", "Country", "country"),
+			node("v4", "Prize", "Chemistry awards"),
+			node("v5", "Institution", "organization"),
+			node("v6", "City", "city"),
+		},
+		Edges: []rules.Edge{
+			{From: "v1", Rel: "bornOnDate", To: "v2"},
+			{From: "v1", Rel: "isCitizenOf", To: "v3"},
+			{From: "v1", Rel: "wonPrize", To: "v4"},
+			{From: "v1", Rel: "worksAt", To: "v5"},
+			{From: "v5", Rel: "locatedIn", To: "v6"},
+			{From: "v6", Rel: "locatedIn", To: "v3"},
+		},
+	}
+}
+
+func newSystem(t *testing.T) (*dataset.PaperExample, *katara.System) {
+	t.Helper()
+	ex := dataset.NewPaperExample()
+	s, err := katara.New(paperPattern(), ex.KB, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, s
+}
+
+func TestRejectsFuzzyPattern(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	p := paperPattern()
+	p.Nodes[4].Sim = similarity.EDK(2)
+	if _, err := katara.New(p, ex.KB, ex.Schema); err == nil {
+		t.Fatal("fuzzy pattern must be rejected")
+	}
+}
+
+func TestFullMatchAnnotates(t *testing.T) {
+	ex, s := newSystem(t)
+	for i, tu := range ex.Truth.Tuples {
+		o := s.Clean(tu)
+		if !o.Full {
+			t.Errorf("truth tuple %d: not a full match (matched %v)", i, o.MatchedCols)
+		}
+	}
+}
+
+func TestPartialMatchRepairsSemanticErrors(t *testing.T) {
+	// r1: Prize and City are semantic errors with unique consistent
+	// completions; KATARA finds both.
+	ex, s := newSystem(t)
+	o := s.Clean(ex.Dirty.Tuples[0])
+	if o.Full {
+		t.Fatal("dirty r1 must not fully match")
+	}
+	if o.Repairs["Prize"] != "Nobel Prize in Chemistry" {
+		t.Errorf("Prize repair = %q", o.Repairs["Prize"])
+	}
+	if o.Repairs["City"] != "Haifa" {
+		t.Errorf("City repair = %q", o.Repairs["City"])
+	}
+}
+
+func TestNoFuzzyMatchingOnTypos(t *testing.T) {
+	// r2's "Paster Institute" is not an exact KB instance, so the
+	// Institution node cannot match; KATARA can still complete it from
+	// the rest of the tuple, but the tuple is not a full match.
+	ex, s := newSystem(t)
+	o := s.Clean(ex.Dirty.Tuples[1])
+	if o.Full {
+		t.Fatal("typo tuple must not fully match")
+	}
+	for _, c := range o.MatchedCols {
+		if c == "Institution" {
+			t.Fatal("typo'd Institution must be unmatched under exact matching")
+		}
+	}
+}
+
+func TestKeyAttributeTypoRepairedWhenUniquelyDerivable(t *testing.T) {
+	// A typo in Name leaves a 5-node partial match; since the other
+	// attributes identify the person uniquely, the min-cost completion
+	// restores the canonical name.
+	ex, s := newSystem(t)
+	tu := ex.Truth.Tuples[0].Clone()
+	tu.Values[0] = "Avram Hershk0"
+	o := s.Clean(tu)
+	if o.Full {
+		t.Fatal("must not fully match")
+	}
+	if o.Repairs["Name"] != "Avram Hershko" {
+		t.Errorf("Name repair = %q, want the uniquely derivable canonical name", o.Repairs["Name"])
+	}
+}
+
+func TestCleanTableCountsPOS(t *testing.T) {
+	ex, s := newSystem(t)
+	cleaned, pos := s.CleanTable(ex.Truth)
+	if pos != ex.Truth.Len()*ex.Schema.Arity() {
+		t.Errorf("#-POS = %d, want %d", pos, ex.Truth.Len()*ex.Schema.Arity())
+	}
+	for i := range cleaned.Tuples {
+		if !cleaned.Tuples[i].Equal(ex.Truth.Tuples[i]) {
+			t.Errorf("truth tuple %d changed", i)
+		}
+	}
+	// Dirty table: no tuple fully matches, so #-POS is 0, but repairs
+	// are applied in place.
+	cleanedDirty, posDirty := s.CleanTable(ex.Dirty)
+	if posDirty != 0 {
+		t.Errorf("dirty #-POS = %d, want 0", posDirty)
+	}
+	if got := cleanedDirty.Cell(0, "City"); got != "Haifa" {
+		t.Errorf("r1 City = %q after KATARA", got)
+	}
+	// The input table is untouched.
+	if got := ex.Dirty.Cell(0, "City"); got != "Karcag" {
+		t.Errorf("input table mutated: City = %q", got)
+	}
+}
+
+func TestConsistentlyWrongValuesConfuseTheMarking(t *testing.T) {
+	// Melvin Calvin's dirty tuple (Table I): City = St. Paul is wrong
+	// but *consistent* (he is a US citizen and St. Paul is a US city),
+	// so KATARA's maximal partial match keeps it and marks only
+	// Institution as unmatched — "cannot tell which value is wrong",
+	// the failure mode the paper contrasts detective rules against.
+	// No instance graph both employs Calvin and sits in St. Paul, so
+	// the error escapes repair entirely.
+	ex, s := newSystem(t)
+	o := s.Clean(ex.Dirty.Tuples[3])
+	if o.Full {
+		t.Fatal("must not fully match")
+	}
+	matched := make(map[string]bool)
+	for _, c := range o.MatchedCols {
+		matched[c] = true
+	}
+	if matched["Institution"] {
+		t.Error("Institution should be the unmatched attribute")
+	}
+	if !matched["City"] {
+		t.Error("the consistently-wrong City should (incorrectly) stay matched")
+	}
+	if len(o.Repairs) != 0 {
+		t.Errorf("Repairs = %v, want none", o.Repairs)
+	}
+}
+
+func TestIncompletenessBecomesFalseNegative(t *testing.T) {
+	// Remove the KB's worksAt edge for Hershko: his correct tuple now
+	// only partially matches — the paper's point that KATARA cannot
+	// distinguish errors from KB incompleteness.
+	ex := dataset.NewPaperExample()
+	g := kb.New()
+	g.AddType("Avram Hershko", "Nobel laureates in Chemistry")
+	g.AddType("Israel", "country")
+	g.AddType("Nobel Prize in Chemistry", "Chemistry awards")
+	g.AddType("Israel Institute of Technology", "organization")
+	g.AddType("Haifa", "city")
+	g.AddPropertyTriple("Avram Hershko", "bornOnDate", "1937-12-31")
+	g.AddTriple("Avram Hershko", "isCitizenOf", "Israel")
+	g.AddTriple("Avram Hershko", "wonPrize", "Nobel Prize in Chemistry")
+	// worksAt edge missing.
+	g.AddTriple("Israel Institute of Technology", "locatedIn", "Haifa")
+	g.AddTriple("Haifa", "locatedIn", "Israel")
+
+	s, err := katara.New(paperPattern(), g, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := s.Clean(ex.Truth.Tuples[0])
+	if o.Full {
+		t.Fatal("tuple must not fully match with the coverage gap")
+	}
+}
+
+func TestDiscoverPattern(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	pattern, err := katara.DiscoverPattern(ex.KB, ex.Schema, ex.Truth, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pattern.Nodes) != 6 {
+		t.Fatalf("pattern covers %d columns", len(pattern.Nodes))
+	}
+	for _, n := range pattern.Nodes {
+		if n.Sim.Fuzzy() {
+			t.Fatalf("node %s fuzzy; KATARA patterns must be exact", n.Name)
+		}
+	}
+	// The discovered pattern drives a working system that fully
+	// matches the ground truth.
+	s, err := katara.New(pattern, ex.KB, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tu := range ex.Truth.Tuples {
+		if !s.Clean(tu).Full {
+			t.Errorf("truth tuple %d not a full match under discovered pattern", i)
+		}
+	}
+}
+
+func TestDiscoverPatternFailsWithoutCoverage(t *testing.T) {
+	// A KB that cannot type every column: no holistic pattern.
+	ex := dataset.NewPaperExample()
+	g := kb.New()
+	g.AddType("Avram Hershko", "Nobel laureates in Chemistry")
+	if _, err := katara.DiscoverPattern(g, ex.Schema, ex.Truth, 0.8); err == nil {
+		t.Fatal("want error when columns cannot be typed")
+	}
+}

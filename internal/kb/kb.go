@@ -1,0 +1,407 @@
+// Package kb implements an in-memory RDF-style knowledge graph, the
+// substrate that detective rules draw evidence from. It models the
+// fragment of RDFS the paper relies on: classes, instances, literals,
+// relationships (instance→instance edges) and properties
+// (instance→literal edges), plus a subClassOf taxonomy.
+//
+// All node names are interned to dense int32 IDs so that the indexes
+// used by rule matching (type index, subject–predicate index,
+// predicate–object index) are cheap maps over small keys. The store is
+// append-only: triples can be added at any time, and derived closures
+// (transitive class membership) are recomputed lazily.
+package kb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID is a dense interned identifier for a node (instance, class or
+// literal) or a predicate in the graph. The zero graph has no valid
+// IDs; Invalid is returned by lookups that miss.
+type ID int32
+
+// Invalid is the sentinel returned when a name is not in the graph.
+const Invalid ID = -1
+
+// Kind classifies a node.
+type Kind uint8
+
+const (
+	// KindUnknown marks nodes seen only as predicate labels or not yet
+	// classified.
+	KindUnknown Kind = iota
+	// KindInstance is an entity, e.g. "Avram Hershko".
+	KindInstance
+	// KindClass is a concept, e.g. "city".
+	KindClass
+	// KindLiteral is a string/date/number value, e.g. "1937-12-31".
+	KindLiteral
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInstance:
+		return "instance"
+	case KindClass:
+		return "class"
+	case KindLiteral:
+		return "literal"
+	default:
+		return "unknown"
+	}
+}
+
+// Edge is one outgoing (or incoming) labelled edge of a node.
+type Edge struct {
+	Pred ID // relationship or property label
+	To   ID // the other endpoint
+}
+
+// SP is a (subject, predicate) index key.
+type SP struct {
+	S ID
+	P ID
+}
+
+// PO is a (predicate, object) index key.
+type PO struct {
+	P ID
+	O ID
+}
+
+// Graph is an in-memory RDF graph with the indexes rule matching
+// needs. It is not safe for concurrent mutation; concurrent reads are
+// safe once loading has finished and Freeze has been called (or after
+// any read has forced the lazy closures).
+type Graph struct {
+	names  []string
+	byName map[string]ID
+	kinds  []Kind
+
+	types   map[ID][]ID // instance -> direct classes
+	superOf map[ID][]ID // class -> direct superclasses
+	subOf   map[ID][]ID // class -> direct subclasses
+	instOf  map[ID][]ID // class -> direct instances
+
+	out map[ID][]Edge
+	in  map[ID][]Edge
+	sp  map[SP][]ID
+	po  map[PO][]ID
+
+	preds       map[ID]struct{}
+	tripleCount int
+
+	closureDirty bool
+	instClosure  map[ID][]ID         // class -> all instances (incl. via subclasses)
+	typeClosure  map[ID]map[ID]bool  // instance -> all classes (incl. superclasses)
+	literalClass ID                  // interned "literal" pseudo-class
+}
+
+// LiteralClass is the reserved type name that matches any literal
+// node, mirroring the paper's "type: literal" rule nodes.
+const LiteralClass = "literal"
+
+// New returns an empty graph.
+func New() *Graph {
+	g := &Graph{
+		byName:  make(map[string]ID),
+		types:   make(map[ID][]ID),
+		superOf: make(map[ID][]ID),
+		subOf:   make(map[ID][]ID),
+		instOf:  make(map[ID][]ID),
+		out:     make(map[ID][]Edge),
+		in:      make(map[ID][]Edge),
+		sp:      make(map[SP][]ID),
+		po:      make(map[PO][]ID),
+		preds:   make(map[ID]struct{}),
+	}
+	g.literalClass = g.intern(LiteralClass, KindClass)
+	return g
+}
+
+// intern returns the ID for name, creating it with the given kind if
+// absent. If the node exists with KindUnknown, the kind is upgraded.
+func (g *Graph) intern(name string, kind Kind) ID {
+	if id, ok := g.byName[name]; ok {
+		if g.kinds[id] == KindUnknown && kind != KindUnknown {
+			g.kinds[id] = kind
+		}
+		return id
+	}
+	id := ID(len(g.names))
+	g.names = append(g.names, name)
+	g.kinds = append(g.kinds, kind)
+	g.byName[name] = id
+	return id
+}
+
+// Intern interns name as an instance node and returns its ID.
+func (g *Graph) Intern(name string) ID { return g.intern(name, KindInstance) }
+
+// InternLiteral interns name as a literal node and returns its ID.
+func (g *Graph) InternLiteral(name string) ID { return g.intern(name, KindLiteral) }
+
+// InternClass interns name as a class node and returns its ID.
+func (g *Graph) InternClass(name string) ID { return g.intern(name, KindClass) }
+
+// InternPred interns name as a predicate label and returns its ID.
+func (g *Graph) InternPred(name string) ID {
+	id := g.intern(name, KindUnknown)
+	g.preds[id] = struct{}{}
+	return id
+}
+
+// Lookup returns the ID of name, or Invalid if the graph has never
+// seen it.
+func (g *Graph) Lookup(name string) ID {
+	if id, ok := g.byName[name]; ok {
+		return id
+	}
+	return Invalid
+}
+
+// Name returns the string form of id. It panics on Invalid.
+func (g *Graph) Name(id ID) string { return g.names[id] }
+
+// KindOf reports the kind of id.
+func (g *Graph) KindOf(id ID) Kind { return g.kinds[id] }
+
+// NumNodes returns the number of interned nodes (including predicates
+// and the reserved literal class).
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// NumTriples returns the number of relationship/property triples added
+// (type and subclass assertions are not counted).
+func (g *Graph) NumTriples() int { return g.tripleCount }
+
+// NumClasses returns the number of class nodes, excluding the reserved
+// "literal" pseudo-class.
+func (g *Graph) NumClasses() int {
+	n := 0
+	for id, k := range g.kinds {
+		if k == KindClass && ID(id) != g.literalClass {
+			n++
+		}
+	}
+	return n
+}
+
+// Predicates returns all predicate IDs in deterministic order.
+func (g *Graph) Predicates() []ID {
+	out := make([]ID, 0, len(g.preds))
+	for p := range g.preds {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumPredicates returns the number of distinct relationship/property
+// labels.
+func (g *Graph) NumPredicates() int { return len(g.preds) }
+
+// AddTriple records the triple (s, p, o) with o an instance. Both
+// endpoints and the predicate are interned on demand.
+func (g *Graph) AddTriple(s, p, o string) {
+	g.AddTripleID(g.Intern(s), g.InternPred(p), g.Intern(o))
+}
+
+// AddPropertyTriple records the triple (s, p, o) with o a literal.
+func (g *Graph) AddPropertyTriple(s, p, o string) {
+	g.AddTripleID(g.Intern(s), g.InternPred(p), g.InternLiteral(o))
+}
+
+// AddTripleID records the triple (s, p, o) over already-interned IDs.
+// Duplicate triples are ignored.
+func (g *Graph) AddTripleID(s, p, o ID) {
+	key := SP{s, p}
+	for _, ex := range g.sp[key] {
+		if ex == o {
+			return
+		}
+	}
+	g.out[s] = append(g.out[s], Edge{Pred: p, To: o})
+	g.in[o] = append(g.in[o], Edge{Pred: p, To: s})
+	g.sp[key] = append(g.sp[key], o)
+	g.po[PO{p, o}] = append(g.po[PO{p, o}], s)
+	g.preds[p] = struct{}{}
+	g.tripleCount++
+}
+
+// AddType asserts that instance inst has class cls.
+func (g *Graph) AddType(inst, cls string) {
+	g.AddTypeID(g.Intern(inst), g.InternClass(cls))
+}
+
+// AddTypeID asserts type membership over interned IDs.
+func (g *Graph) AddTypeID(inst, cls ID) {
+	for _, c := range g.types[inst] {
+		if c == cls {
+			return
+		}
+	}
+	g.types[inst] = append(g.types[inst], cls)
+	g.instOf[cls] = append(g.instOf[cls], inst)
+	g.closureDirty = true
+}
+
+// AddSubclass asserts sub ⊆ super in the taxonomy.
+func (g *Graph) AddSubclass(sub, super string) {
+	g.AddSubclassID(g.InternClass(sub), g.InternClass(super))
+}
+
+// AddSubclassID asserts the subclass edge over interned IDs.
+func (g *Graph) AddSubclassID(sub, super ID) {
+	for _, s := range g.superOf[sub] {
+		if s == super {
+			return
+		}
+	}
+	g.superOf[sub] = append(g.superOf[sub], super)
+	g.subOf[super] = append(g.subOf[super], sub)
+	g.closureDirty = true
+}
+
+// Objects returns all o with (s, p, o) in the graph. The returned
+// slice is shared; callers must not mutate it.
+func (g *Graph) Objects(s, p ID) []ID { return g.sp[SP{s, p}] }
+
+// Subjects returns all s with (s, p, o) in the graph. The returned
+// slice is shared; callers must not mutate it.
+func (g *Graph) Subjects(p, o ID) []ID { return g.po[PO{p, o}] }
+
+// HasEdge reports whether the triple (s, p, o) is in the graph.
+func (g *Graph) HasEdge(s, p, o ID) bool {
+	for _, x := range g.sp[SP{s, p}] {
+		if x == o {
+			return true
+		}
+	}
+	return false
+}
+
+// Out returns the outgoing edges of s (shared slice).
+func (g *Graph) Out(s ID) []Edge { return g.out[s] }
+
+// In returns the incoming edges of o (shared slice).
+func (g *Graph) In(o ID) []Edge { return g.in[o] }
+
+// DirectTypes returns the directly asserted classes of inst (shared
+// slice).
+func (g *Graph) DirectTypes(inst ID) []ID { return g.types[inst] }
+
+// Freeze forces recomputation of the lazy closures. Calling it after
+// bulk loading makes subsequent reads safe for concurrent use.
+func (g *Graph) Freeze() { g.ensureClosures() }
+
+func (g *Graph) ensureClosures() {
+	if !g.closureDirty && g.instClosure != nil {
+		return
+	}
+	g.instClosure = make(map[ID][]ID, len(g.instOf))
+	g.typeClosure = make(map[ID]map[ID]bool, len(g.types))
+
+	// For every instance, walk its direct types up the taxonomy.
+	for inst, direct := range g.types {
+		all := make(map[ID]bool, len(direct)*2)
+		var stack []ID
+		stack = append(stack, direct...)
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if all[c] {
+				continue
+			}
+			all[c] = true
+			stack = append(stack, g.superOf[c]...)
+		}
+		g.typeClosure[inst] = all
+		for c := range all {
+			g.instClosure[c] = append(g.instClosure[c], inst)
+		}
+	}
+	for c := range g.instClosure {
+		s := g.instClosure[c]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	g.closureDirty = false
+}
+
+// InstancesOf returns every instance whose type closure contains cls,
+// i.e. direct members plus members of all (transitive) subclasses.
+// For the reserved "literal" class it returns every literal node.
+// The returned slice is shared; callers must not mutate it.
+func (g *Graph) InstancesOf(cls ID) []ID {
+	if cls == g.literalClass {
+		return g.literals()
+	}
+	g.ensureClosures()
+	return g.instClosure[cls]
+}
+
+var literalCacheKey = struct{}{}
+
+func (g *Graph) literals() []ID {
+	// Literals are rare query targets; scan on demand.
+	var out []ID
+	for id, k := range g.kinds {
+		if k == KindLiteral {
+			out = append(out, ID(id))
+		}
+	}
+	_ = literalCacheKey
+	return out
+}
+
+// HasType reports whether inst is a (transitive) member of cls. Any
+// literal node is a member of the reserved "literal" class.
+func (g *Graph) HasType(inst, cls ID) bool {
+	if cls == g.literalClass {
+		return g.kinds[inst] == KindLiteral
+	}
+	g.ensureClosures()
+	return g.typeClosure[inst][cls]
+}
+
+// TypesOf returns every class inst belongs to, including superclasses
+// through the taxonomy, in ascending ID order. Literals yield only the
+// reserved "literal" class.
+func (g *Graph) TypesOf(inst ID) []ID {
+	if g.kinds[inst] == KindLiteral {
+		return []ID{g.literalClass}
+	}
+	g.ensureClosures()
+	set := g.typeClosure[inst]
+	out := make([]ID, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Subclasses returns the direct subclasses of cls (shared slice).
+func (g *Graph) Subclasses(cls ID) []ID { return g.subOf[cls] }
+
+// Superclasses returns the direct superclasses of cls (shared slice).
+func (g *Graph) Superclasses(cls ID) []ID { return g.superOf[cls] }
+
+// TaxonomyDepth returns the length of the longest superclass chain
+// starting at cls (0 for a root class). It is used only for KB
+// statistics and must be called on an acyclic taxonomy.
+func (g *Graph) TaxonomyDepth(cls ID) int {
+	best := 0
+	for _, s := range g.superOf[cls] {
+		if d := g.TaxonomyDepth(s) + 1; d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// String summarizes the graph for debugging.
+func (g *Graph) String() string {
+	return fmt.Sprintf("kb.Graph{nodes=%d classes=%d preds=%d triples=%d}",
+		g.NumNodes(), g.NumClasses(), g.NumPredicates(), g.NumTriples())
+}

@@ -1,0 +1,225 @@
+package llunatic_test
+
+import (
+	"testing"
+
+	"detective/internal/dataset"
+	"detective/internal/llunatic"
+	"detective/internal/relation"
+)
+
+// datasetNewUIS builds a small UIS truth table for FD-mining tests.
+func datasetNewUIS(t *testing.T) *relation.Table {
+	t.Helper()
+	return dataset.NewUIS(5, 400).Truth
+}
+
+func table(rows ...[2]string) *relation.Table {
+	tb := relation.NewTable(relation.NewSchema("R", "Country", "Capital"))
+	for _, r := range rows {
+		tb.Append(r[0], r[1])
+	}
+	return tb
+}
+
+var fd = []llunatic.FD{{LHS: []string{"Country"}, RHS: "Capital"}}
+
+func TestRepairMajority(t *testing.T) {
+	// The paper's intro example: country -> capital. The frequent value
+	// wins; Shanghai is rewritten.
+	tb := table(
+		[2]string{"China", "Beijing"},
+		[2]string{"China", "Beijing"},
+		[2]string{"China", "Shanghai"},
+	)
+	res, err := llunatic.Repair(tb, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Table.Cell(2, "Capital"); got != "Beijing" {
+		t.Fatalf("Capital = %q, want Beijing", got)
+	}
+	if len(res.Changed) != 1 || res.Lluns != 0 {
+		t.Fatalf("Changed=%v Lluns=%d", res.Changed, res.Lluns)
+	}
+	if llunatic.Violations(res.Table, fd) != 0 {
+		t.Fatal("violations remain")
+	}
+}
+
+func TestRepairTieSimilarity(t *testing.T) {
+	// Frequency tie between a typo and another typo of the same value:
+	// ED-based preference cannot decide between symmetric strings, but
+	// with three variants the centroid wins.
+	tb := table(
+		[2]string{"France", "Paris"},
+		[2]string{"France", "Pariss"},
+		[2]string{"France", "Parris"},
+	)
+	res, err := llunatic.Repair(tb, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All frequencies are 1; "Paris" minimizes total edit distance
+	// (1+1=2 vs 1+2=3 for the others... Pariss<->Parris is 2).
+	for i := 0; i < 3; i++ {
+		if got := res.Table.Cell(i, "Capital"); got != "Paris" {
+			t.Fatalf("row %d Capital = %q, want Paris", i, got)
+		}
+	}
+}
+
+func TestRepairLlunOnUnresolvableTie(t *testing.T) {
+	tb := table(
+		[2]string{"NL", "Amsterdam"},
+		[2]string{"NL", "Rotterdam"},
+	)
+	res, err := llunatic.Repair(tb, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric: frequency tie and ED tie -> both become lluns.
+	if res.Lluns != 2 {
+		t.Fatalf("Lluns = %d, want 2", res.Lluns)
+	}
+	for i := 0; i < 2; i++ {
+		if got := res.Table.Cell(i, "Capital"); got != llunatic.Llun {
+			t.Fatalf("row %d = %q, want llun", i, got)
+		}
+	}
+	if llunatic.Violations(res.Table, fd) != 0 {
+		t.Fatal("violations remain after lluns")
+	}
+}
+
+func TestNoViolationNoChange(t *testing.T) {
+	tb := table(
+		[2]string{"China", "Beijing"},
+		[2]string{"Japan", "Tokyo"},
+	)
+	res, err := llunatic.Repair(tb, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Changed) != 0 {
+		t.Fatalf("Changed = %v", res.Changed)
+	}
+	// Input untouched.
+	if tb.Cell(0, "Capital") != "Beijing" {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSingletonGroupsUntouched(t *testing.T) {
+	// Errors without redundancy are invisible to FDs — the reason the
+	// paper skips WebTables for IC-based repair.
+	tb := table([2]string{"China", "Shanghai"})
+	res, err := llunatic.Repair(tb, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Table.Cell(0, "Capital"); got != "Shanghai" {
+		t.Fatalf("Capital = %q, want untouched Shanghai", got)
+	}
+}
+
+func TestMultipleFDsChase(t *testing.T) {
+	schema := relation.NewSchema("R", "A", "B", "C")
+	tb := relation.NewTable(schema)
+	// A -> B and B -> C interact: fixing B creates a bigger B-group
+	// for the second FD.
+	tb.Append("a", "b", "c")
+	tb.Append("a", "b", "c")
+	tb.Append("a", "x", "d")
+	fds := []llunatic.FD{
+		{LHS: []string{"A"}, RHS: "B"},
+		{LHS: []string{"B"}, RHS: "C"},
+	}
+	res, err := llunatic.Repair(tb, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Table.Cell(2, "B"); got != "b" {
+		t.Fatalf("B = %q", got)
+	}
+	if got := res.Table.Cell(2, "C"); got != "c" {
+		t.Fatalf("C = %q (chase must re-run the second FD)", got)
+	}
+	if llunatic.Violations(res.Table, fds) != 0 {
+		t.Fatal("violations remain")
+	}
+}
+
+func TestLlunLHSDoesNotWitness(t *testing.T) {
+	schema := relation.NewSchema("R", "A", "B")
+	tb := relation.NewTable(schema)
+	tb.Append(llunatic.Llun, "x")
+	tb.Append(llunatic.Llun, "y")
+	fds := []llunatic.FD{{LHS: []string{"A"}, RHS: "B"}}
+	res, err := llunatic.Repair(tb, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Changed) != 0 {
+		t.Fatal("llun LHS must not group tuples")
+	}
+}
+
+func TestFDValidation(t *testing.T) {
+	schema := relation.NewSchema("R", "A", "B")
+	bad := []llunatic.FD{
+		{LHS: nil, RHS: "B"},
+		{LHS: []string{"Z"}, RHS: "B"},
+		{LHS: []string{"A"}, RHS: "Z"},
+		{LHS: []string{"A"}, RHS: "A"},
+	}
+	tb := relation.NewTable(schema)
+	for _, f := range bad {
+		if _, err := llunatic.Repair(tb, []llunatic.FD{f}); err == nil {
+			t.Errorf("FD %v: want error", f)
+		}
+	}
+}
+
+func TestMineFDs(t *testing.T) {
+	schema := relation.NewSchema("R", "Zip", "City", "State", "Name")
+	tb := relation.NewTable(schema)
+	tb.Append("11111", "Springfield", "IL", "Ann")
+	tb.Append("11111", "Springfield", "IL", "Bob")
+	tb.Append("22222", "Shelbyville", "IL", "Ced")
+	tb.Append("33333", "Ogdenville", "NT", "Dee")
+
+	fds := llunatic.MineFDs(tb, 2)
+	found := make(map[string]bool)
+	for _, f := range fds {
+		found[f.LHS[0]+">"+f.RHS] = true
+	}
+	if !found["Zip>City"] || !found["Zip>State"] {
+		t.Errorf("missing zip FDs: %v", fds)
+	}
+	if !found["City>State"] {
+		t.Errorf("missing City->State: %v", fds)
+	}
+	// Name is key-like (all distinct): no redundancy, no FDs from it.
+	if found["Name>City"] {
+		t.Errorf("key-like LHS mined: %v", fds)
+	}
+	// State does not determine City.
+	if found["State>City"] {
+		t.Errorf("non-functional FD mined: %v", fds)
+	}
+}
+
+func TestMineFDsOnUISRecoversConfiguredFDs(t *testing.T) {
+	// Mining the UIS truth recovers at least the two FDs the
+	// experiments configure by hand.
+	b := datasetNewUIS(t)
+	fds := llunatic.MineFDs(b, 2)
+	found := make(map[string]bool)
+	for _, f := range fds {
+		found[f.LHS[0]+">"+f.RHS] = true
+	}
+	if !found["Zip>City"] || !found["City>State"] {
+		t.Fatalf("UIS mining missed configured FDs: %v", fds)
+	}
+}

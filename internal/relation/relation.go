@@ -1,0 +1,213 @@
+// Package relation implements the relational substrate: schemas,
+// tables, tuples, and the per-cell positive marks ("+") that detective
+// rules attach when they prove a value correct (paper §III-B).
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema names a relation and its attributes, in order.
+type Schema struct {
+	Name  string
+	Attrs []string
+	index map[string]int
+}
+
+// NewSchema creates a schema. Attribute names must be unique and
+// non-empty; NewSchema panics otherwise, since schemas are build-time
+// constants in every caller.
+func NewSchema(name string, attrs ...string) *Schema {
+	s := &Schema{Name: name, Attrs: append([]string(nil), attrs...), index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a == "" {
+			panic(fmt.Sprintf("relation: schema %q has empty attribute name at %d", name, i))
+		}
+		if _, dup := s.index[a]; dup {
+			panic(fmt.Sprintf("relation: schema %q has duplicate attribute %q", name, a))
+		}
+		s.index[a] = i
+	}
+	return s
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.Attrs) }
+
+// Col returns the position of attribute a, or -1 if absent.
+func (s *Schema) Col(a string) int {
+	if i, ok := s.index[a]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustCol is Col but panics on a missing attribute; used where the
+// attribute name comes from a validated rule.
+func (s *Schema) MustCol(a string) int {
+	i := s.Col(a)
+	if i < 0 {
+		panic(fmt.Sprintf("relation: schema %q has no attribute %q", s.Name, a))
+	}
+	return i
+}
+
+// Has reports whether attribute a exists.
+func (s *Schema) Has(a string) bool { return s.Col(a) >= 0 }
+
+// Tuple is one row plus its per-cell positive marks.
+type Tuple struct {
+	Values []string
+	Marked []bool // Marked[i]: cell i proven correct ("+")
+}
+
+// NewTuple creates an unmarked tuple from values.
+func NewTuple(values ...string) *Tuple {
+	return &Tuple{Values: append([]string(nil), values...), Marked: make([]bool, len(values))}
+}
+
+// Clone deep-copies the tuple.
+func (t *Tuple) Clone() *Tuple {
+	return &Tuple{
+		Values: append([]string(nil), t.Values...),
+		Marked: append([]bool(nil), t.Marked...),
+	}
+}
+
+// NumMarked counts cells marked positive.
+func (t *Tuple) NumMarked() int {
+	n := 0
+	for _, m := range t.Marked {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// IsMarked reports whether any cell is marked positive ("marked
+// tuple" in the paper's terminology).
+func (t *Tuple) IsMarked() bool {
+	for _, m := range t.Marked {
+		if m {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports value equality (marks ignored).
+func (t *Tuple) Equal(o *Tuple) bool {
+	if len(t.Values) != len(o.Values) {
+		return false
+	}
+	for i := range t.Values {
+		if t.Values[i] != o.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualMarked reports equality of both values and marks, the fixpoint
+// comparison used by consistency checking.
+func (t *Tuple) EqualMarked(o *Tuple) bool {
+	if !t.Equal(o) || len(t.Marked) != len(o.Marked) {
+		return false
+	}
+	for i := range t.Marked {
+		if t.Marked[i] != o.Marked[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple with "+" suffixes on marked cells, as in
+// the paper's running examples.
+func (t *Tuple) String() string {
+	parts := make([]string, len(t.Values))
+	for i, v := range t.Values {
+		if t.Marked[i] {
+			parts[i] = v + "+"
+		} else {
+			parts[i] = v
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Table is a schema plus rows.
+type Table struct {
+	Schema *Schema
+	Tuples []*Tuple
+}
+
+// NewTable creates an empty table over schema s.
+func NewTable(s *Schema) *Table { return &Table{Schema: s} }
+
+// Append adds a tuple built from values; it panics if the arity is
+// wrong, which is always a programming error in this codebase.
+func (tb *Table) Append(values ...string) *Tuple {
+	if len(values) != tb.Schema.Arity() {
+		panic(fmt.Sprintf("relation: table %q arity %d, got %d values",
+			tb.Schema.Name, tb.Schema.Arity(), len(values)))
+	}
+	t := NewTuple(values...)
+	tb.Tuples = append(tb.Tuples, t)
+	return t
+}
+
+// Len returns the number of tuples.
+func (tb *Table) Len() int { return len(tb.Tuples) }
+
+// Clone deep-copies the table (sharing the schema).
+func (tb *Table) Clone() *Table {
+	out := &Table{Schema: tb.Schema, Tuples: make([]*Tuple, len(tb.Tuples))}
+	for i, t := range tb.Tuples {
+		out.Tuples[i] = t.Clone()
+	}
+	return out
+}
+
+// Cell returns the value of attribute attr in row i.
+func (tb *Table) Cell(i int, attr string) string {
+	return tb.Tuples[i].Values[tb.Schema.MustCol(attr)]
+}
+
+// SetCell sets the value of attribute attr in row i.
+func (tb *Table) SetCell(i int, attr, v string) {
+	tb.Tuples[i].Values[tb.Schema.MustCol(attr)] = v
+}
+
+// NumCells returns rows × columns.
+func (tb *Table) NumCells() int { return tb.Len() * tb.Schema.Arity() }
+
+// NumMarked returns the total number of positively marked cells, the
+// #-POS measure of the paper's Table III.
+func (tb *Table) NumMarked() int {
+	n := 0
+	for _, t := range tb.Tuples {
+		n += t.NumMarked()
+	}
+	return n
+}
+
+// Diff returns the coordinates (row, col) of cells whose values
+// differ between tb and o, which must have the same shape. It is the
+// primitive behind repair-quality accounting.
+func (tb *Table) Diff(o *Table) [][2]int {
+	if tb.Len() != o.Len() || tb.Schema.Arity() != o.Schema.Arity() {
+		panic("relation: Diff over tables of different shape")
+	}
+	var out [][2]int
+	for i := range tb.Tuples {
+		for j := range tb.Tuples[i].Values {
+			if tb.Tuples[i].Values[j] != o.Tuples[i].Values[j] {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package repair_test
+
+import (
+	"testing"
+
+	"detective/internal/dataset"
+	"detective/internal/repair"
+)
+
+// ablationVariants enumerates the §IV-B optimization switches.
+var ablationVariants = []struct {
+	name string
+	opts repair.Options
+}{
+	{"full", repair.Options{}},
+	{"no-rule-order", repair.Options{NoRuleOrder: true}},
+	{"no-shared-checks", repair.Options{NoSharedChecks: true}},
+	{"no-indexes", repair.Options{NoIndexes: true}},
+	{"all-off", repair.Options{NoRuleOrder: true, NoSharedChecks: true, NoIndexes: true}},
+}
+
+// TestAblationsAgree: every ablation variant must compute the exact
+// same repairs — the optimizations change cost, never results.
+func TestAblationsAgree(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	full, err := repair.NewEngine(ex.Rules, ex.KB, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ablationVariants {
+		e, err := repair.NewEngineWithOptions(ex.Rules, ex.KB, ex.Schema, v.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		for i, tu := range ex.Dirty.Tuples {
+			want := full.FastRepair(tu)
+			got := e.FastRepair(tu)
+			if !want.EqualMarked(got) {
+				t.Errorf("%s: tuple %d: %v, want %v", v.name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestAblationsAgreeOnNobelSample(t *testing.T) {
+	b := dataset.NewNobel(17, 120)
+	inj := b.Inject(dataset.Noise{Rate: 0.15, TypoFrac: 0.5, Seed: 3})
+	full, err := repair.NewEngine(b.Rules, b.Yago, b.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full.RepairTable(inj.Dirty, true)
+	for _, v := range ablationVariants {
+		e, err := repair.NewEngineWithOptions(b.Rules, b.Yago, b.Schema, v.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := e.RepairTable(inj.Dirty, true)
+		for i := range want.Tuples {
+			if !want.Tuples[i].EqualMarked(got.Tuples[i]) {
+				t.Fatalf("%s: tuple %d: %v, want %v", v.name, i, got.Tuples[i], want.Tuples[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,497 @@
+package repair
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"detective/internal/kb"
+	"detective/internal/relation"
+	"detective/internal/rules"
+)
+
+// Engine applies a set of consistent detective rules to tuples of one
+// schema against one KB. Build it once and reuse it across tuples;
+// it is safe for concurrent use after construction as long as the KB
+// has been frozen, except that the lazy per-class signature indexes
+// are built on first use (call Warm to pre-build them).
+type Engine struct {
+	Schema *relation.Schema
+	Cat    *rules.Catalog
+	Graph  *RuleGraph
+
+	opts Options
+
+	fast []*rules.Matcher // signature-index candidate retrieval
+	slow []*rules.Matcher // full-scan retrieval (Algorithm 1 cost model)
+
+	// Inverted rule indexes (the paper's Figure 5): which rules use a
+	// given node/edge check as *evidence*, so a failed shared check
+	// prunes every rule that depends on it.
+	evNodeIndex map[string][]int
+	evEdgeIndex map[string][]int
+
+	// keyCols[k] lists the columns a check key reads, used to
+	// invalidate memoized checks when a repair rewrites a column.
+	keyCols map[string][]string
+
+	// Per-rule pre-resolved check lists.
+	evChecks  [][]check // evidence node + edge checks per rule
+	posKey    []string  // positive-node key per rule
+	negKey    []string  // negative-node key per rule ("" if none)
+	posEdgeKs [][]string
+}
+
+// check is one memoizable value-level test.
+type check struct {
+	key    string
+	node   rules.Node
+	edge   rules.Edge
+	from   rules.Node
+	to     rules.Node
+	isEdge bool
+}
+
+// Options disables individual optimizations of the fast repair
+// algorithm, for the ablation study of the three §IV-B improvements.
+// The zero value is the full Algorithm 2.
+type Options struct {
+	// NoRuleOrder ignores the rule graph: rules are re-scanned in
+	// input order until a fixpoint, as in the basic algorithm.
+	NoRuleOrder bool
+	// NoSharedChecks disables the memoized node/edge checks and the
+	// inverted-list pruning of Figure 5.
+	NoSharedChecks bool
+	// NoIndexes replaces signature-index candidate retrieval with
+	// full class-extent scans.
+	NoIndexes bool
+}
+
+// NewEngine validates the rules and builds matchers, the rule graph,
+// and the inverted indexes. The rule set is assumed consistent
+// (verify with the consistency package).
+func NewEngine(drs []*rules.DR, g *kb.Graph, schema *relation.Schema) (*Engine, error) {
+	return NewEngineWithOptions(drs, g, schema, Options{})
+}
+
+// NewEngineWithOptions is NewEngine with ablation switches.
+func NewEngineWithOptions(drs []*rules.DR, g *kb.Graph, schema *relation.Schema, opts Options) (*Engine, error) {
+	if len(drs) == 0 {
+		return nil, fmt.Errorf("repair: empty rule set")
+	}
+	e := &Engine{
+		Schema:      schema,
+		Cat:         rules.NewCatalog(g),
+		Graph:       BuildRuleGraph(drs),
+		opts:        opts,
+		evNodeIndex: make(map[string][]int),
+		evEdgeIndex: make(map[string][]int),
+		keyCols:     make(map[string][]string),
+	}
+	for i, dr := range drs {
+		fm, err := rules.NewMatcher(dr, e.Cat, schema)
+		if err != nil {
+			return nil, err
+		}
+		e.fast = append(e.fast, fm)
+		sm, err := rules.NewMatcher(dr, e.Cat, schema)
+		if err != nil {
+			return nil, err
+		}
+		sm.Scan = true
+		e.slow = append(e.slow, sm)
+
+		nodeByName := make(map[string]rules.Node)
+		for _, n := range dr.Evidence {
+			nodeByName[n.Name] = n
+		}
+		nodeByName[dr.Pos.Name] = dr.Pos
+		if dr.Neg != nil {
+			nodeByName[dr.Neg.Name] = *dr.Neg
+		}
+
+		var evs []check
+		for _, n := range dr.Evidence {
+			k := n.Key()
+			evs = append(evs, check{key: k, node: n})
+			e.evNodeIndex[k] = append(e.evNodeIndex[k], i)
+			e.keyCols[k] = []string{n.Col}
+		}
+		evSet := make(map[string]bool, len(dr.Evidence))
+		for _, n := range dr.Evidence {
+			evSet[n.Name] = true
+		}
+		var posEdgeKeys []string
+		for _, ed := range dr.Edges {
+			from, to := nodeByName[ed.From], nodeByName[ed.To]
+			k := rules.EdgeKey(from, ed.Rel, to)
+			e.keyCols[k] = []string{from.Col, to.Col}
+			switch {
+			case evSet[ed.From] && evSet[ed.To]:
+				evs = append(evs, check{key: k, edge: ed, from: from, to: to, isEdge: true})
+				e.evEdgeIndex[k] = append(e.evEdgeIndex[k], i)
+			case ed.From == dr.Pos.Name || ed.To == dr.Pos.Name:
+				posEdgeKeys = append(posEdgeKeys, k)
+			}
+		}
+		e.evChecks = append(e.evChecks, evs)
+		e.posKey = append(e.posKey, dr.Pos.Key())
+		e.keyCols[dr.Pos.Key()] = []string{dr.Pos.Col}
+		if dr.Neg != nil {
+			e.negKey = append(e.negKey, dr.Neg.Key())
+			e.keyCols[dr.Neg.Key()] = []string{dr.Neg.Col}
+		} else {
+			e.negKey = append(e.negKey, "")
+		}
+		e.posEdgeKs = append(e.posEdgeKs, posEdgeKeys)
+	}
+	return e, nil
+}
+
+// Rules returns the engine's rule set, in construction order.
+func (e *Engine) Rules() []*rules.DR { return e.Graph.Rules }
+
+// Warm pre-builds the per-class signature indexes by issuing one
+// lookup per distinct rule node, so later timing measurements exclude
+// index construction.
+func (e *Engine) Warm() {
+	for _, m := range e.fast {
+		for _, n := range append(append([]rules.Node(nil), m.Rule.Evidence...), m.Rule.Pos) {
+			e.Cat.HasCandidate(n.Type, n.Sim, "")
+			_ = n
+		}
+		if m.Rule.Neg != nil {
+			e.Cat.HasCandidate(m.Rule.Neg.Type, m.Rule.Neg.Sim, "")
+		}
+	}
+}
+
+// applicable implements the multi-rule applicability test of §III-B:
+// the rule must not change a positively marked cell and must mark at
+// least one new cell.
+func (e *Engine) applicable(t *relation.Tuple, out rules.Outcome) bool {
+	switch out.Kind {
+	case rules.Positive:
+		for _, c := range out.MarkCols {
+			if !t.Marked[e.Schema.MustCol(c)] {
+				return true
+			}
+		}
+		return false
+	case rules.Repair:
+		return !t.Marked[e.Schema.MustCol(out.RepairCol)]
+	default:
+		return false
+	}
+}
+
+// apply mutates t according to the outcome, choosing version idx of a
+// multi-version repair, and returns the columns whose values changed
+// (the repaired column and any canonicalized evidence columns). When
+// alts is non-nil, the full candidate list of every rewritten cell is
+// recorded there — the paper scores a multi-version repair as correct
+// when *any* version matches the ground truth (§V-A).
+func (e *Engine) apply(t *relation.Tuple, out rules.Outcome, version int, alts map[string][]string) []string {
+	var changed []string
+	for c, v := range out.Canonical {
+		col := e.Schema.MustCol(c)
+		if !t.Marked[col] && t.Values[col] != v {
+			t.Values[col] = v
+			changed = append(changed, c)
+			if alts != nil {
+				alts[c] = []string{v}
+			}
+		}
+	}
+	if out.Kind == rules.Repair {
+		col := e.Schema.MustCol(out.RepairCol)
+		if t.Values[col] != out.Repairs[version] {
+			t.Values[col] = out.Repairs[version]
+			changed = append(changed, out.RepairCol)
+			if alts != nil {
+				alts[out.RepairCol] = append([]string(nil), out.Repairs...)
+			}
+		}
+	}
+	for _, c := range out.MarkCols {
+		t.Marked[e.Schema.MustCol(c)] = true
+	}
+	return changed
+}
+
+// BasicRepair is Algorithm 1: repeatedly scan the not-yet-applied
+// rules for one that is applicable, apply it, and restart, until a
+// fixpoint. Candidate retrieval scans class extents (the paper's
+// O(|Σ|² · |C||X||V|) cost model). The input tuple is not modified;
+// the repaired tuple is returned. Multi-version repairs take the
+// most-similar candidate (Repairs[0]).
+func (e *Engine) BasicRepair(t *relation.Tuple) *relation.Tuple {
+	return e.basicRepair(t, nil)
+}
+
+func (e *Engine) basicRepair(t *relation.Tuple, alts map[string][]string) *relation.Tuple {
+	cl := t.Clone()
+	used := make([]bool, len(e.slow))
+	for {
+		progress := false
+		for i, m := range e.slow {
+			if used[i] {
+				continue
+			}
+			out := m.Evaluate(cl)
+			if !e.applicable(cl, out) {
+				continue
+			}
+			e.apply(cl, out, 0, alts)
+			used[i] = true // each rule is applied at most once (Alg. 1 line 8)
+			progress = true
+			break
+		}
+		if !progress {
+			return cl
+		}
+	}
+}
+
+// FastRepair is Algorithm 2: rules are visited once in the
+// topological order of the rule graph (components re-scanned until
+// stable); value-level node and edge checks are memoized and shared
+// across rules through the inverted indexes; failed shared evidence
+// checks prune every dependent rule; candidate retrieval uses the
+// signature indexes.
+func (e *Engine) FastRepair(t *relation.Tuple) *relation.Tuple {
+	return e.fastRepair(t, nil)
+}
+
+func (e *Engine) fastRepair(t *relation.Tuple, alts map[string][]string) *relation.Tuple {
+	cl := t.Clone()
+	st := &fastState{
+		alts:  alts,
+		alive: make([]bool, len(e.fast)),
+		memo:  make(map[string]bool),
+	}
+	for i := range st.alive {
+		st.alive[i] = true
+	}
+	groups := e.Graph.Groups
+	if e.opts.NoRuleOrder {
+		// Ablation: one flat group re-scanned to a fixpoint, as in the
+		// basic algorithm.
+		all := make([]int, len(e.fast))
+		for i := range all {
+			all[i] = i
+		}
+		groups = [][]int{all}
+	}
+	for _, group := range groups {
+		cyclic := len(group) > 1 && (e.Graph.HasCycle() || e.opts.NoRuleOrder)
+		for {
+			progress := false
+			for _, idx := range group {
+				if !st.alive[idx] {
+					continue
+				}
+				if e.fastStep(cl, idx, st, cyclic) {
+					progress = true
+				}
+			}
+			if !cyclic || !progress {
+				break
+			}
+		}
+	}
+	return cl
+}
+
+type fastState struct {
+	alive []bool
+	memo  map[string]bool     // check key -> result for the current values
+	alts  map[string][]string // optional multi-version recorder
+	steps *[]Step             // optional explanation recorder
+}
+
+// fastStep checks and possibly applies rule idx; it reports whether
+// the rule was applied. In cyclic groups pruning of sibling rules is
+// suppressed, because a failed evidence check may become true after
+// another rule in the same component repairs a value.
+func (e *Engine) fastStep(t *relation.Tuple, idx int, st *fastState, cyclic bool) bool {
+	m := e.fast[idx]
+	if e.opts.NoIndexes {
+		m = e.slow[idx]
+	}
+
+	// Evidence prechecks, shared across rules (Alg. 2 lines 3-9).
+	if e.opts.NoSharedChecks {
+		goto evaluate
+	}
+	for _, c := range e.evChecks[idx] {
+		res, seen := st.memo[c.key]
+		if !seen {
+			if c.isEdge {
+				// Edge checks are only consulted when already memoized:
+				// computing them eagerly duplicates the edge-driven
+				// evaluation's own work (measured by the ablation
+				// benchmarks), whereas a *failed* edge recorded by an
+				// earlier rule still prunes this one.
+				continue
+			}
+			res = m.NodeCheck(t, c.node)
+			st.memo[c.key] = res
+		}
+		if !res {
+			st.alive[idx] = false
+			if !cyclic {
+				// Prune every rule that needs this same check as
+				// evidence (Figure 5 inverted lists).
+				var dependents []int
+				if c.isEdge {
+					dependents = e.evEdgeIndex[c.key]
+				} else {
+					dependents = e.evNodeIndex[c.key]
+				}
+				for _, d := range dependents {
+					st.alive[d] = false
+				}
+			}
+			return false
+		}
+	}
+
+evaluate:
+	out := m.Evaluate(t)
+	if !e.applicable(t, out) {
+		if !cyclic {
+			st.alive[idx] = false
+		}
+		return false
+	}
+	oldValue := ""
+	if out.Kind == rules.Repair {
+		oldValue = t.Values[e.Schema.MustCol(out.RepairCol)]
+	}
+	changed := e.apply(t, out, 0, st.alts)
+	e.recordStep(st, idx, out, oldValue)
+	st.alive[idx] = false
+
+	if len(changed) > 0 {
+		// A rewrite invalidates every memoized check that reads a
+		// changed column...
+		changedSet := make(map[string]bool, len(changed))
+		for _, c := range changed {
+			changedSet[c] = true
+		}
+		for key, cols := range e.keyCols {
+			for _, c := range cols {
+				if changedSet[c] {
+					delete(st.memo, key)
+					break
+				}
+			}
+		}
+		// ...except that the rule's own matched structure is witnessed
+		// by the instances just found: its evidence checks still hold
+		// on the canonicalized values, and after a repair the new value
+		// satisfies the positive node and its incident edges (Alg. 2
+		// lines 14-16).
+		for _, c := range e.evChecks[idx] {
+			st.memo[c.key] = true
+		}
+		if out.Kind == rules.Repair {
+			st.memo[e.posKey[idx]] = true
+			for _, k := range e.posEdgeKs[idx] {
+				st.memo[k] = true
+			}
+		}
+	}
+
+	// Rules fully subsumed by the new marks can be dropped (the sound
+	// core of Alg. 2 lines 12-13).
+	for j := range st.alive {
+		if !st.alive[j] {
+			continue
+		}
+		subsumed := true
+		for _, c := range e.fast[j].MarkCols() {
+			if !t.Marked[e.Schema.MustCol(c)] {
+				subsumed = false
+				break
+			}
+		}
+		if subsumed {
+			st.alive[j] = false
+		}
+	}
+	return true
+}
+
+// RepairTable applies the engine to every tuple of tb and returns the
+// cleaned copy. fast selects FastRepair over BasicRepair.
+func (e *Engine) RepairTable(tb *relation.Table, fast bool) *relation.Table {
+	out, _ := e.repairTable(tb, fast, false)
+	return out
+}
+
+// RepairTableWithAlternatives additionally reports, for every
+// rewritten cell (row, col), the full multi-version candidate list of
+// the repair that rewrote it, so the evaluation can apply the paper's
+// rule that a multi-version repair counts as correct when any version
+// matches the ground truth.
+func (e *Engine) RepairTableWithAlternatives(tb *relation.Table, fast bool) (*relation.Table, map[[2]int][]string) {
+	return e.repairTable(tb, fast, true)
+}
+
+// RepairTableParallel is RepairTable with the fast engine fanned out
+// over workers goroutines (0 = GOMAXPROCS). Tuples are independent —
+// "repairing one tuple is irrelevant to any other tuple" (§V-B) — so
+// this is a straight data-parallel map; the engine is warmed first so
+// workers share read-only indexes.
+func (e *Engine) RepairTableParallel(tb *relation.Table, workers int) *relation.Table {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e.Warm()
+	// The KB's lazy closures must be materialized before fan-out.
+	e.Cat.KB.Freeze()
+	out := &relation.Table{Schema: tb.Schema, Tuples: make([]*relation.Tuple, tb.Len())}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= tb.Len() {
+					return
+				}
+				out.Tuples[i] = e.FastRepair(tb.Tuples[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func (e *Engine) repairTable(tb *relation.Table, fast, trackAlts bool) (*relation.Table, map[[2]int][]string) {
+	out := &relation.Table{Schema: tb.Schema, Tuples: make([]*relation.Tuple, tb.Len())}
+	var cellAlts map[[2]int][]string
+	if trackAlts {
+		cellAlts = make(map[[2]int][]string)
+	}
+	for i, t := range tb.Tuples {
+		var alts map[string][]string
+		if trackAlts {
+			alts = make(map[string][]string)
+		}
+		if fast {
+			out.Tuples[i] = e.fastRepair(t, alts)
+		} else {
+			out.Tuples[i] = e.basicRepair(t, alts)
+		}
+		for col, vs := range alts {
+			cellAlts[[2]int{i, e.Schema.MustCol(col)}] = vs
+		}
+	}
+	return out, cellAlts
+}

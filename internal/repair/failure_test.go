@@ -1,0 +1,165 @@
+package repair_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"detective/internal/dataset"
+	"detective/internal/kb"
+	"detective/internal/relation"
+	"detective/internal/repair"
+	"detective/internal/rules"
+	"detective/internal/similarity"
+)
+
+// --- failure injection: degraded KBs must degrade gracefully ---------
+
+func TestRepairAgainstEmptyKB(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	e, err := repair.NewEngine(ex.Rules, kb.New(), ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tu := range ex.Dirty.Tuples {
+		got := e.FastRepair(tu)
+		if !got.Equal(tu) || got.IsMarked() {
+			t.Errorf("tuple %d changed/marked against an empty KB: %v", i, got)
+		}
+	}
+}
+
+func TestRepairWithMissingRelations(t *testing.T) {
+	// A KB with types but no relationship edges: rules can never
+	// assemble evidence, so nothing is touched.
+	ex := dataset.NewPaperExample()
+	g := kb.New()
+	g.AddType("Avram Hershko", "Nobel laureates in Chemistry")
+	g.AddType("Haifa", "city")
+	g.AddType("Karcag", "city")
+	e, err := repair.NewEngine(ex.Rules, g, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.FastRepair(ex.Dirty.Tuples[0])
+	if !got.Equal(ex.Dirty.Tuples[0]) {
+		t.Fatalf("repair happened without relationship evidence: %v", got)
+	}
+}
+
+func TestRepairRuleOverUnknownTypes(t *testing.T) {
+	// Rules whose types the KB has never heard of: valid engine, no-op
+	// cleaning.
+	schema := relation.NewSchema("R", "A", "B")
+	neg := rules.Node{Name: "n", Col: "B", Type: "ghost-type", Sim: similarity.Eq}
+	dr := &rules.DR{
+		Name:     "ghost",
+		Evidence: []rules.Node{{Name: "e", Col: "A", Type: "phantom-type", Sim: similarity.Eq}},
+		Pos:      rules.Node{Name: "p", Col: "B", Type: "ghost-type", Sim: similarity.Eq},
+		Neg:      &neg,
+		Edges: []rules.Edge{
+			{From: "e", Rel: "r", To: "p"},
+			{From: "e", Rel: "s", To: "n"},
+		},
+	}
+	g := kb.New()
+	g.AddTriple("x", "r", "y")
+	e, err := repair.NewEngine([]*rules.DR{dr}, g, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := relation.NewTuple("x", "y")
+	if got := e.FastRepair(tu); !got.Equal(tu) || got.IsMarked() {
+		t.Fatalf("ghost rule acted: %v", got)
+	}
+}
+
+func TestRepairEmptyValuesAreSafe(t *testing.T) {
+	_, e := newEngine(t)
+	tu := relation.NewTuple("", "", "", "", "", "")
+	got := e.FastRepair(tu)
+	if !got.Equal(tu) {
+		t.Fatalf("empty tuple changed: %v", got)
+	}
+	gotB := e.BasicRepair(tu)
+	if !gotB.Equal(tu) {
+		t.Fatalf("basic: empty tuple changed: %v", gotB)
+	}
+}
+
+// --- generative invariants across random noise ------------------------
+
+// TestGenerativeEngineInvariants drives the Nobel engine over many
+// random noise configurations and checks the core invariants:
+// idempotence (a fixpoint stays fixed), basic/fast agreement
+// (Church-Rosser across cost models), and mark monotonicity (cleaning
+// never removes a mark).
+func TestGenerativeEngineInvariants(t *testing.T) {
+	b := dataset.NewNobel(99, 150)
+	e, err := repair.NewEngine(b.Rules, b.Yago, b.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 12; trial++ {
+		inj := b.Inject(dataset.Noise{
+			Rate:     0.05 + rng.Float64()*0.3,
+			TypoFrac: rng.Float64(),
+			Seed:     rng.Int63(),
+		})
+		for i := 0; i < inj.Dirty.Len(); i += 7 { // sample rows
+			tu := inj.Dirty.Tuples[i]
+			fast := e.FastRepair(tu)
+			basic := e.BasicRepair(tu)
+			if !fast.EqualMarked(basic) {
+				t.Fatalf("trial %d row %d: fast %v != basic %v", trial, i, fast, basic)
+			}
+			again := e.FastRepair(fast)
+			if !again.EqualMarked(fast) {
+				t.Fatalf("trial %d row %d: not a fixpoint: %v -> %v", trial, i, fast, again)
+			}
+			for j := range tu.Marked {
+				if tu.Marked[j] && !fast.Marked[j] {
+					t.Fatalf("trial %d row %d: mark removed at col %d", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestRepairTableWithUsage(t *testing.T) {
+	ex, e := newEngine(t)
+	cleaned, report := e.RepairTableWithUsage(ex.Dirty)
+	if report.Tuples != 4 {
+		t.Fatalf("Tuples = %d", report.Tuples)
+	}
+	if len(report.PerRule) != 4 {
+		t.Fatalf("PerRule = %v", report.PerRule)
+	}
+	byName := make(map[string]repair.RuleUsage)
+	total := 0
+	for _, u := range report.PerRule {
+		byName[u.Rule] = u
+		total += u.Positives + u.Repairs
+	}
+	// phi2 repairs r1's City and phi1 repairs r2's Institution and
+	// r4's (multi-version) Institution.
+	if byName["phi2"].Repairs == 0 {
+		t.Errorf("phi2 usage = %+v, want repairs > 0", byName["phi2"])
+	}
+	if byName["phi1"].MultiVersion == 0 {
+		t.Errorf("phi1 usage = %+v, want a multi-version repair (Calvin)", byName["phi1"])
+	}
+	if total == 0 {
+		t.Fatal("no usage recorded")
+	}
+	// The cleaned output equals the plain repair result.
+	want := e.RepairTable(ex.Dirty, true)
+	for i := range want.Tuples {
+		if !want.Tuples[i].EqualMarked(cleaned.Tuples[i]) {
+			t.Fatalf("row %d differs from RepairTable", i)
+		}
+	}
+	if report.String() == "" {
+		t.Error("empty report rendering")
+	}
+}

@@ -1,0 +1,65 @@
+package repair
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"detective/internal/relation"
+)
+
+// CleanCSVStream cleans CSV row by row without materializing the
+// table — the shape needed for inputs larger than memory (the paper's
+// engine is embarrassingly per-tuple, §V-B). The first record must be
+// a header matching the engine's schema. Marked cells get a "+"
+// suffix when marked is true. It returns the number of rows cleaned.
+func (e *Engine) CleanCSVStream(r io.Reader, w io.Writer, marked bool) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("repair: reading CSV header: %w", err)
+	}
+	if len(header) != e.Schema.Arity() {
+		return 0, fmt.Errorf("repair: CSV has %d columns, schema %q has %d",
+			len(header), e.Schema.Name, e.Schema.Arity())
+	}
+	for i, a := range e.Schema.Attrs {
+		if header[i] != a {
+			return 0, fmt.Errorf("repair: CSV column %d is %q, schema expects %q", i, header[i], a)
+		}
+	}
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return 0, err
+	}
+	rows := 0
+	out := make([]string, len(header))
+	for lineno := 2; ; lineno++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return rows, fmt.Errorf("repair: reading CSV: %w", err)
+		}
+		if len(rec) != len(header) {
+			return rows, fmt.Errorf("repair: CSV line %d has %d fields, want %d", lineno, len(rec), len(header))
+		}
+		cleaned := e.FastRepair(relation.NewTuple(rec...))
+		for i, v := range cleaned.Values {
+			if marked && cleaned.Marked[i] {
+				out[i] = v + "+"
+			} else {
+				out[i] = v
+			}
+		}
+		if err := cw.Write(out); err != nil {
+			return rows, err
+		}
+		rows++
+	}
+	cw.Flush()
+	return rows, cw.Error()
+}

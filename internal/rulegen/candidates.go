@@ -1,0 +1,243 @@
+package rulegen
+
+import (
+	"fmt"
+	"sort"
+
+	"detective/internal/kb"
+	"detective/internal/relation"
+	"detective/internal/rules"
+)
+
+// S1 of the paper's algorithm computes "a set G+ of schema-level
+// matching graphs", not a single one: a column can plausibly carry
+// several KB types (taxonomy ancestors, overlapping classes), and the
+// user picks among the resulting candidate rules. GenerateCandidates
+// implements that set semantics: for every target attribute it emits
+// one candidate DR per viable (positive-graph variant, negative
+// semantics) combination, ranked by the type support of the variant.
+// Generate returns only the top candidate per attribute.
+
+// GenerateCandidates produces, per target attribute, the ranked list
+// of candidate detective rules. cfg.TypeCandidates controls how many
+// type alternatives per column are explored (default 1: only the
+// best-supported type, which reduces to Generate's behaviour).
+func GenerateCandidates(g *kb.Graph, schema *relation.Schema, positives *relation.Table,
+	negatives map[string]*relation.Table, cfg Config) (map[string][]*rules.DR, error) {
+
+	cfg = cfg.withDefaults()
+	if positives == nil || positives.Len() == 0 {
+		return nil, fmt.Errorf("rulegen: no positive examples")
+	}
+	variants, err := DiscoverGraphs(g, schema, positives, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var attrs []string
+	for a := range negatives {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+
+	out := make(map[string][]*rules.DR)
+	for _, attr := range attrs {
+		if !schema.Has(attr) {
+			return nil, fmt.Errorf("rulegen: negative examples for unknown attribute %q", attr)
+		}
+		neg := negatives[attr]
+		if neg == nil || neg.Len() == 0 {
+			continue
+		}
+		seen := make(map[string]bool)
+		for _, pos := range variants {
+			dr, err := mergeRule(g, schema, pos, neg, attr, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("rulegen: attribute %s: %w", attr, err)
+			}
+			if dr == nil {
+				continue
+			}
+			sig := ruleSignature(dr)
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			if n := len(out[attr]); n > 0 {
+				dr.Name = fmt.Sprintf("gen_%s_%d", attr, n+1)
+			}
+			out[attr] = append(out[attr], dr)
+		}
+	}
+	return out, nil
+}
+
+// ruleSignature fingerprints a rule's structure for deduplication
+// across graph variants that happen to merge identically.
+func ruleSignature(dr *rules.DR) string {
+	parts := make([]string, 0, len(dr.Evidence)+len(dr.Edges)+2)
+	for _, n := range dr.Evidence {
+		parts = append(parts, "e:"+n.Key())
+	}
+	parts = append(parts, "p:"+dr.Pos.Key())
+	if dr.Neg != nil {
+		parts = append(parts, "n:"+dr.Neg.Key())
+	}
+	for _, e := range dr.Edges {
+		parts = append(parts, "g:"+e.From+"/"+e.Rel+"/"+e.To)
+	}
+	sort.Strings(parts)
+	out := ""
+	for _, p := range parts {
+		out += p + "|"
+	}
+	return out
+}
+
+// DiscoverGraphs runs S1 with type alternatives: the first returned
+// graph uses the best-supported type for every column; each further
+// graph swaps exactly one column to its next-best type (so the number
+// of graphs is bounded by 1 + columns × (TypeCandidates-1)).
+func DiscoverGraphs(g *kb.Graph, schema *relation.Schema, examples *relation.Table, cfg Config) ([]*Discovered, error) {
+	cfg = cfg.withDefaults()
+	k := cfg.TypeCandidates
+	if k < 1 {
+		k = 1
+	}
+
+	// Per column: matched instances per row and the ranked types.
+	colInsts := make(map[string][][]kb.ID, schema.Arity())
+	ranked := make(map[string][]typeChoice, schema.Arity())
+	for _, col := range schema.Attrs {
+		sim := cfg.simFor(col)
+		insts := make([][]kb.ID, examples.Len())
+		for i, tu := range examples.Tuples {
+			insts[i] = matchInstances(g, tu.Values[schema.MustCol(col)], sim)
+		}
+		colInsts[col] = insts
+		ranked[col] = rankedTypes(g, insts, k, cfg.MinTypeSupport)
+	}
+
+	base := make(map[string]typeChoice, len(ranked))
+	for col, choices := range ranked {
+		if len(choices) > 0 {
+			base[col] = choices[0]
+		}
+	}
+	var out []*Discovered
+	out = append(out, assembleGraph(g, schema, examples, cfg, colInsts, base))
+
+	// One-column swaps to alternative types.
+	for _, col := range schema.Attrs {
+		for alt := 1; alt < len(ranked[col]) && alt < k; alt++ {
+			variant := make(map[string]typeChoice, len(base))
+			for c, t := range base {
+				variant[c] = t
+			}
+			variant[col] = ranked[col][alt]
+			out = append(out, assembleGraph(g, schema, examples, cfg, colInsts, variant))
+		}
+	}
+	return out, nil
+}
+
+// typeChoice is a ranked column-type candidate.
+type typeChoice struct {
+	cls     kb.ID
+	support float64
+}
+
+// rankedTypes returns up to k classes ordered by (coverage, then
+// specificity, then name), all meeting the support threshold.
+func rankedTypes(g *kb.Graph, insts [][]kb.ID, k int, minSupport float64) []typeChoice {
+	cover := make(map[kb.ID]int)
+	for _, row := range insts {
+		rowClasses := make(map[kb.ID]bool)
+		for _, inst := range row {
+			for _, c := range g.TypesOf(inst) {
+				rowClasses[c] = true
+			}
+		}
+		for c := range rowClasses {
+			cover[c]++
+		}
+	}
+	classes := make([]kb.ID, 0, len(cover))
+	for c := range cover {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		a, b := classes[i], classes[j]
+		if cover[a] != cover[b] {
+			return cover[a] > cover[b]
+		}
+		ea, eb := len(g.InstancesOf(a)), len(g.InstancesOf(b))
+		if ea != eb {
+			return ea < eb // more specific first
+		}
+		return g.Name(a) < g.Name(b)
+	})
+	var out []typeChoice
+	for _, c := range classes {
+		support := float64(cover[c]) / float64(len(insts))
+		if support < minSupport {
+			break // sorted by coverage: the rest are below threshold too
+		}
+		out = append(out, typeChoice{cls: c, support: support})
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// assembleGraph builds one Discovered graph for a fixed per-column
+// type choice, re-running relationship discovery.
+func assembleGraph(g *kb.Graph, schema *relation.Schema, examples *relation.Table,
+	cfg Config, colInsts map[string][][]kb.ID, choice map[string]typeChoice) *Discovered {
+
+	d := &Discovered{
+		TypeSupport: make(map[string]float64),
+		RelSupport:  make(map[string]float64),
+	}
+	for _, col := range schema.Attrs {
+		tc, ok := choice[col]
+		if !ok {
+			continue
+		}
+		d.Graph.Nodes = append(d.Graph.Nodes, rules.Node{
+			Name: "c" + col,
+			Col:  col,
+			Type: g.Name(tc.cls),
+			Sim:  cfg.simFor(col),
+		})
+		d.TypeSupport[col] = tc.support
+	}
+	typed := d.Graph.Nodes
+	for i := range typed {
+		for j := range typed {
+			if i == j {
+				continue
+			}
+			from, to := typed[i], typed[j]
+			for rel, support := range relSupport(g, colInsts[from.Col], colInsts[to.Col], examples.Len()) {
+				if support < cfg.MinRelSupport {
+					continue
+				}
+				d.Graph.Edges = append(d.Graph.Edges, rules.Edge{From: from.Name, To: to.Name, Rel: rel})
+				d.RelSupport[from.Name+"\x00"+rel+"\x00"+to.Name] = support
+			}
+		}
+	}
+	sort.Slice(d.Graph.Edges, func(a, b int) bool {
+		ea, eb := d.Graph.Edges[a], d.Graph.Edges[b]
+		if ea.From != eb.From {
+			return ea.From < eb.From
+		}
+		if ea.To != eb.To {
+			return ea.To < eb.To
+		}
+		return ea.Rel < eb.Rel
+	})
+	return d
+}

@@ -1,0 +1,94 @@
+package rulegen
+
+import (
+	"fmt"
+	"sort"
+
+	"detective/internal/kb"
+	"detective/internal/relation"
+	"detective/internal/repair"
+	"detective/internal/rules"
+)
+
+// Score grades one candidate rule on a labelled validation sample —
+// the quantitative aid for the human review step the paper requires
+// before candidate rules are trusted ("the user can manually pick",
+// §III-A).
+type Score struct {
+	Rule *rules.DR
+	// Repairs and CorrectRepairs count cell rewrites when the rule is
+	// applied alone to the dirty sample.
+	Repairs        int
+	CorrectRepairs int
+	// WrongRepairs = Repairs - CorrectRepairs.
+	WrongRepairs int
+	// Marks counts cells the rule proves correct; WrongMarks counts
+	// marks placed on cells that are actually erroneous.
+	Marks      int
+	WrongMarks int
+}
+
+// Precision is the fraction of the rule's repairs that match ground
+// truth (1 when the rule repaired nothing).
+func (s Score) Precision() float64 {
+	if s.Repairs == 0 {
+		return 1
+	}
+	return float64(s.CorrectRepairs) / float64(s.Repairs)
+}
+
+func (s Score) String() string {
+	return fmt.Sprintf("%s: repairs=%d correct=%d (P=%.2f) marks=%d wrong-marks=%d",
+		s.Rule.Name, s.Repairs, s.CorrectRepairs, s.Precision(), s.Marks, s.WrongMarks)
+}
+
+// Rank applies each candidate rule *individually* to the dirty sample
+// and grades its repairs and marks against the ground truth. Results
+// are ordered most-trustworthy first: higher precision, then more
+// correct repairs, then fewer wrong marks. Rules whose precision
+// falls below 1 deserve scrutiny before being adopted.
+func Rank(cands []*rules.DR, g *kb.Graph, schema *relation.Schema,
+	truth, dirty *relation.Table) ([]Score, error) {
+
+	if truth.Len() != dirty.Len() {
+		return nil, fmt.Errorf("rulegen: truth has %d rows, dirty has %d", truth.Len(), dirty.Len())
+	}
+	scores := make([]Score, 0, len(cands))
+	for _, dr := range cands {
+		e, err := repair.NewEngine([]*rules.DR{dr}, g, schema)
+		if err != nil {
+			return nil, fmt.Errorf("rulegen: rule %s: %w", dr.Name, err)
+		}
+		s := Score{Rule: dr}
+		repaired := e.RepairTable(dirty, true)
+		for i := range repaired.Tuples {
+			for j, got := range repaired.Tuples[i].Values {
+				if got != dirty.Tuples[i].Values[j] {
+					s.Repairs++
+					if got == truth.Tuples[i].Values[j] {
+						s.CorrectRepairs++
+					}
+				}
+				if repaired.Tuples[i].Marked[j] {
+					s.Marks++
+					if got != truth.Tuples[i].Values[j] {
+						s.WrongMarks++
+					}
+				}
+			}
+		}
+		s.WrongRepairs = s.Repairs - s.CorrectRepairs
+		scores = append(scores, s)
+	}
+	sort.SliceStable(scores, func(i, j int) bool {
+		a, b := scores[i], scores[j]
+		if a.Precision() != b.Precision() {
+			return a.Precision() > b.Precision()
+		}
+		if a.CorrectRepairs != b.CorrectRepairs {
+			return a.CorrectRepairs > b.CorrectRepairs
+		}
+		return a.WrongMarks < b.WrongMarks
+	})
+	return scores, nil
+}

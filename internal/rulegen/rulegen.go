@@ -1,0 +1,513 @@
+// Package rulegen implements the example-driven generation of
+// detective rules described in §III-A of the paper: from a set of
+// positive tuple examples (all values correct) and, per target
+// attribute, a set of negative examples (only that attribute wrong),
+// it discovers schema-level matching graphs for both and merges pairs
+// that differ in exactly one node into candidate detective rules.
+//
+// As in the paper, the output is a *candidate* set meant to be
+// reviewed by a user before being applied (and checked with the
+// consistency package); the generator is deliberately conservative
+// and fully deterministic.
+package rulegen
+
+import (
+	"fmt"
+	"sort"
+
+	"detective/internal/kb"
+	"detective/internal/relation"
+	"detective/internal/rules"
+	"detective/internal/similarity"
+)
+
+// Config controls discovery thresholds.
+type Config struct {
+	// MinTypeSupport is the minimum fraction of example tuples whose
+	// value in a column must match an instance of a class for the
+	// class to be considered that column's type. Default 0.8.
+	MinTypeSupport float64
+	// MinRelSupport is the minimum fraction of example tuples that
+	// must witness a relationship between two typed columns for the
+	// relationship to be adopted. Default 0.8.
+	MinRelSupport float64
+	// Sims optionally overrides the matching operation per column;
+	// the default is exact equality everywhere.
+	Sims map[string]similarity.Spec
+	// MaxEvidence bounds the number of evidence nodes per generated
+	// rule (0 = unbounded): columns closest to the target attribute in
+	// the discovered graph are kept first.
+	MaxEvidence int
+	// TypeCandidates explores up to this many ranked KB types per
+	// column when generating candidate rules (GenerateCandidates);
+	// 0 or 1 keeps only the best-supported type.
+	TypeCandidates int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinTypeSupport == 0 {
+		c.MinTypeSupport = 0.8
+	}
+	if c.MinRelSupport == 0 {
+		c.MinRelSupport = 0.8
+	}
+	return c
+}
+
+func (c Config) simFor(col string) similarity.Spec {
+	if sp, ok := c.Sims[col]; ok {
+		return sp
+	}
+	return similarity.Eq
+}
+
+// Generate produces candidate detective rules for every target
+// attribute that has negative examples. positives must contain only
+// correct tuples; negatives[A] must contain tuples wrong exactly in
+// attribute A. Attributes without negative examples contribute no
+// rule (annotation-only rules can be built from DiscoverGraph
+// directly).
+func Generate(g *kb.Graph, schema *relation.Schema, positives *relation.Table,
+	negatives map[string]*relation.Table, cfg Config) ([]*rules.DR, error) {
+
+	cfg = cfg.withDefaults()
+	if positives == nil || positives.Len() == 0 {
+		return nil, fmt.Errorf("rulegen: no positive examples")
+	}
+	// S1: schema-level matching graph for the positive examples.
+	pos, err := DiscoverGraph(g, schema, positives, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var attrs []string
+	for a := range negatives {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+
+	var out []*rules.DR
+	for _, attr := range attrs {
+		if !schema.Has(attr) {
+			return nil, fmt.Errorf("rulegen: negative examples for unknown attribute %q", attr)
+		}
+		neg := negatives[attr]
+		if neg == nil || neg.Len() == 0 {
+			continue
+		}
+		// S2: discover the negative semantics of attr — the type of
+		// the wrong values and how they connect to the (correct)
+		// evidence columns.
+		dr, err := mergeRule(g, schema, pos, neg, attr, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("rulegen: attribute %s: %w", attr, err)
+		}
+		if dr != nil {
+			out = append(out, dr)
+		}
+	}
+	return out, nil
+}
+
+// Discovered is a schema-level matching graph found from examples,
+// with per-node and per-edge support statistics.
+type Discovered struct {
+	Graph       rules.Graph
+	TypeSupport map[string]float64 // column -> support of its chosen type
+	RelSupport  map[string]float64 // "from\x00rel\x00to" -> support
+}
+
+// DiscoverGraph runs S1 of the generation algorithm: it types every
+// column by the most specific class whose instances cover enough of
+// the column's values, then finds relationships between typed column
+// pairs, and returns the resulting schema-level matching graph
+// restricted to typed columns.
+func DiscoverGraph(g *kb.Graph, schema *relation.Schema, examples *relation.Table, cfg Config) (*Discovered, error) {
+	cfg = cfg.withDefaults()
+	d := &Discovered{
+		TypeSupport: make(map[string]float64),
+		RelSupport:  make(map[string]float64),
+	}
+
+	// Per column: candidate instances for every tuple value, then the
+	// best-supported class.
+	colInsts := make(map[string][][]kb.ID, schema.Arity())
+	for _, col := range schema.Attrs {
+		sim := cfg.simFor(col)
+		insts := make([][]kb.ID, examples.Len())
+		for i, tu := range examples.Tuples {
+			insts[i] = matchInstances(g, tu.Values[schema.MustCol(col)], sim)
+		}
+		colInsts[col] = insts
+
+		cls, support := bestType(g, insts)
+		if cls == kb.Invalid || support < cfg.MinTypeSupport {
+			continue
+		}
+		d.Graph.Nodes = append(d.Graph.Nodes, rules.Node{
+			Name: "c" + col,
+			Col:  col,
+			Type: g.Name(cls),
+			Sim:  sim,
+		})
+		d.TypeSupport[col] = support
+	}
+
+	// Relationships between typed columns.
+	typed := d.Graph.Nodes
+	for i := range typed {
+		for j := range typed {
+			if i == j {
+				continue
+			}
+			from, to := typed[i], typed[j]
+			for rel, support := range relSupport(g, colInsts[from.Col], colInsts[to.Col], examples.Len()) {
+				if support < cfg.MinRelSupport {
+					continue
+				}
+				d.Graph.Edges = append(d.Graph.Edges, rules.Edge{From: from.Name, To: to.Name, Rel: rel})
+				d.RelSupport[from.Name+"\x00"+rel+"\x00"+to.Name] = support
+			}
+		}
+	}
+	sort.Slice(d.Graph.Edges, func(a, b int) bool {
+		ea, eb := d.Graph.Edges[a], d.Graph.Edges[b]
+		if ea.From != eb.From {
+			return ea.From < eb.From
+		}
+		if ea.To != eb.To {
+			return ea.To < eb.To
+		}
+		return ea.Rel < eb.Rel
+	})
+	return d, nil
+}
+
+// matchInstances finds the KB instances matching value under sim.
+// Exact matching uses the interning table; fuzzy matching scans the
+// instance space once per value, which is acceptable for the small
+// example sets rule generation runs on.
+func matchInstances(g *kb.Graph, value string, sim similarity.Spec) []kb.ID {
+	if !sim.Fuzzy() {
+		id := g.Lookup(value)
+		if id == kb.Invalid {
+			return nil
+		}
+		return []kb.ID{id}
+	}
+	var out []kb.ID
+	for i := 0; i < g.NumNodes(); i++ {
+		id := kb.ID(i)
+		if k := g.KindOf(id); k != kb.KindInstance && k != kb.KindLiteral {
+			continue
+		}
+		if sim.Match(value, g.Name(id)) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// bestType returns the class covering the most example rows; ties are
+// broken towards the most specific class (smallest extent), then by
+// name for determinism.
+func bestType(g *kb.Graph, insts [][]kb.ID) (kb.ID, float64) {
+	cover := make(map[kb.ID]int)
+	for _, row := range insts {
+		rowClasses := make(map[kb.ID]bool)
+		for _, inst := range row {
+			for _, c := range g.TypesOf(inst) {
+				rowClasses[c] = true
+			}
+		}
+		for c := range rowClasses {
+			cover[c]++
+		}
+	}
+	best := kb.Invalid
+	bestCover := 0
+	for c, n := range cover {
+		if better(g, c, n, best, bestCover) {
+			best, bestCover = c, n
+		}
+	}
+	if best == kb.Invalid {
+		return kb.Invalid, 0
+	}
+	return best, float64(bestCover) / float64(len(insts))
+}
+
+func better(g *kb.Graph, c kb.ID, n int, best kb.ID, bestCover int) bool {
+	if best == kb.Invalid {
+		return true
+	}
+	if n != bestCover {
+		return n > bestCover
+	}
+	ce, be := len(g.InstancesOf(c)), len(g.InstancesOf(best))
+	if ce != be {
+		return ce < be // more specific wins
+	}
+	return g.Name(c) < g.Name(best)
+}
+
+// relSupport counts, for each predicate, the fraction of rows where
+// some matched instance of the from-column links to some matched
+// instance of the to-column.
+func relSupport(g *kb.Graph, from, to [][]kb.ID, rows int) map[string]float64 {
+	count := make(map[kb.ID]int)
+	for r := 0; r < rows; r++ {
+		toSet := make(map[kb.ID]bool, len(to[r]))
+		for _, x := range to[r] {
+			toSet[x] = true
+		}
+		seen := make(map[kb.ID]bool)
+		for _, f := range from[r] {
+			for _, e := range g.Out(f) {
+				if toSet[e.To] && !seen[e.Pred] {
+					seen[e.Pred] = true
+					count[e.Pred]++
+				}
+			}
+		}
+	}
+	out := make(map[string]float64, len(count))
+	for p, n := range count {
+		out[g.Name(p)] = float64(n) / float64(rows)
+	}
+	return out
+}
+
+// mergeRule runs S2+S3 for one target attribute: discover the
+// negative graph from the negative examples and merge it with the
+// positive graph into one detective rule. It returns nil (no error)
+// when the evidence is insufficient — e.g. the positive graph does not
+// connect the attribute, or the wrong values have no discoverable
+// semantics — matching the paper's conservative stance.
+func mergeRule(g *kb.Graph, schema *relation.Schema, pos *Discovered,
+	neg *relation.Table, attr string, cfg Config) (*rules.DR, error) {
+
+	// Positive node and its incident edges come from the positive graph.
+	var posNode *rules.Node
+	for i := range pos.Graph.Nodes {
+		if pos.Graph.Nodes[i].Col == attr {
+			posNode = &pos.Graph.Nodes[i]
+			break
+		}
+	}
+	if posNode == nil {
+		return nil, nil // attribute not typed: no rule
+	}
+
+	// S2: discover the negative semantics. The negative examples have
+	// correct values everywhere except attr, so re-discovering the full
+	// graph over them recovers the same evidence structure plus the
+	// connections of the *wrong* values.
+	negD, err := DiscoverGraph(g, schema, neg, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var negNode *rules.Node
+	for i := range negD.Graph.Nodes {
+		if negD.Graph.Nodes[i].Col == attr {
+			negNode = &negD.Graph.Nodes[i]
+			break
+		}
+	}
+	if negNode == nil {
+		return nil, nil // wrong values not in the KB: no negative semantics
+	}
+
+	// Evidence nodes: columns typed in both graphs, excluding attr.
+	// (S3's isomorphism requirement holds by construction: both graphs
+	// restricted to these columns discover identical types/edges since
+	// the underlying values are identical.)
+	negTyped := make(map[string]bool)
+	for _, n := range negD.Graph.Nodes {
+		negTyped[n.Col] = true
+	}
+	var evidence []rules.Node
+	for _, n := range pos.Graph.Nodes {
+		if n.Col != attr && negTyped[n.Col] {
+			evidence = append(evidence, n)
+		}
+	}
+
+	evSet := make(map[string]bool, len(evidence))
+	for _, n := range evidence {
+		evSet[n.Name] = true
+	}
+	// Edges among evidence and into the positive node (from the
+	// positive graph), plus edges into the negative node (from the
+	// negative graph).
+	var edges []rules.Edge
+	for _, e := range pos.Graph.Edges {
+		switch {
+		case evSet[e.From] && evSet[e.To]:
+			edges = append(edges, e)
+		case e.From == posNode.Name && evSet[e.To], e.To == posNode.Name && evSet[e.From]:
+			edges = append(edges, renameEndpoint(e, posNode.Name, "p"))
+		}
+	}
+	negEdges := 0
+	for _, e := range negD.Graph.Edges {
+		if e.From == negNode.Name && evSet[e.To] || e.To == negNode.Name && evSet[e.From] {
+			ren := renameEndpoint(e, negNode.Name, "n")
+			// Skip negative edges that duplicate the positive semantics
+			// exactly (same relationship, same neighbour, same node
+			// type): such an edge cannot distinguish wrong values. When
+			// the types differ the edge stays — the paper's ϕ4 uses
+			// wonPrize on both sides, separated by Chemistry awards vs
+			// American awards.
+			dup := false
+			if negNode.Type == posNode.Type {
+				for _, pe := range pos.Graph.Edges {
+					if pe.Rel == e.Rel &&
+						(pe.From == posNode.Name && renOther(ren, "n") == pe.To ||
+							pe.To == posNode.Name && renOther(ren, "n") == pe.From) {
+						dup = true
+						break
+					}
+				}
+			}
+			if !dup {
+				edges = append(edges, ren)
+				negEdges++
+			}
+		}
+	}
+	if negEdges == 0 {
+		return nil, nil // indistinguishable from the positive semantics
+	}
+
+	p := *posNode
+	p.Name = "p"
+	n := *negNode
+	n.Name = "n"
+
+	dr := &rules.DR{
+		Name:     "gen_" + attr,
+		Evidence: evidence,
+		Pos:      p,
+		Neg:      &n,
+		Edges:    edges,
+	}
+	pruneEvidence(dr, cfg.MaxEvidence)
+	if err := dr.Validate(schema); err != nil {
+		// Disconnected or otherwise unusable: be conservative.
+		return nil, nil
+	}
+	return dr, nil
+}
+
+func renameEndpoint(e rules.Edge, from, to string) rules.Edge {
+	if e.From == from {
+		e.From = to
+	}
+	if e.To == from {
+		e.To = to
+	}
+	return e
+}
+
+// renOther returns the endpoint of e that is not name.
+func renOther(e rules.Edge, name string) string {
+	if e.From == name {
+		return e.To
+	}
+	return e.From
+}
+
+// pruneEvidence keeps at most max evidence nodes: one neighbour of
+// the negative node and one of the positive node are always retained
+// (the rule is useless without them), and the remaining slots are
+// filled by BFS distance from p/n. Edges to removed nodes are
+// dropped. If max is too small to keep the rule connected, the rule
+// is left unpruned.
+func pruneEvidence(dr *rules.DR, max int) {
+	if max <= 0 || len(dr.Evidence) <= max {
+		return
+	}
+	adj := make(map[string][]string)
+	for _, e := range dr.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	evByName := make(map[string]rules.Node, len(dr.Evidence))
+	for _, n := range dr.Evidence {
+		evByName[n.Name] = n
+	}
+	// firstNeighbour returns the evidence neighbour of v with the
+	// lexically smallest column.
+	firstNeighbour := func(v string) (string, bool) {
+		best := ""
+		for _, w := range adj[v] {
+			nd, ok := evByName[w]
+			if !ok {
+				continue
+			}
+			if best == "" || nd.Col < evByName[best].Col {
+				best = w
+			}
+		}
+		return best, best != ""
+	}
+	must := make(map[string]bool)
+	if w, ok := firstNeighbour("n"); ok {
+		must[w] = true
+	}
+	if w, ok := firstNeighbour("p"); ok {
+		must[w] = true
+	}
+	if len(must) > max {
+		return // cannot prune without disconnecting the rule
+	}
+
+	dist := map[string]int{"p": 0, "n": 0}
+	queue := []string{"p", "n"}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if _, ok := dist[w]; !ok {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	sort.SliceStable(dr.Evidence, func(i, j int) bool {
+		ni, nj := dr.Evidence[i], dr.Evidence[j]
+		if must[ni.Name] != must[nj.Name] {
+			return must[ni.Name]
+		}
+		di, oki := dist[ni.Name]
+		dj, okj := dist[nj.Name]
+		if oki != okj {
+			return oki
+		}
+		if di != dj {
+			return di < dj
+		}
+		return ni.Col < nj.Col
+	})
+	kept := make(map[string]bool)
+	evidence := dr.Evidence[:max]
+	for _, n := range evidence {
+		kept[n.Name] = true
+	}
+	kept["p"] = true
+	kept["n"] = true
+	var edges []rules.Edge
+	for _, e := range dr.Edges {
+		if kept[e.From] && kept[e.To] {
+			edges = append(edges, e)
+		}
+	}
+	// Pruning must preserve a usable rule; otherwise keep the original.
+	pruned := &rules.DR{Name: dr.Name, Evidence: evidence, Pos: dr.Pos, Neg: dr.Neg, Edges: edges}
+	if pruned.Validate(nil) != nil {
+		return
+	}
+	dr.Evidence = evidence
+	dr.Edges = edges
+}

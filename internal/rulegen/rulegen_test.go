@@ -1,0 +1,360 @@
+package rulegen_test
+
+import (
+	"testing"
+
+	"detective/internal/dataset"
+	"detective/internal/relation"
+	"detective/internal/repair"
+	"detective/internal/rulegen"
+	"detective/internal/rules"
+	"detective/internal/similarity"
+)
+
+func cfg() rulegen.Config {
+	return rulegen.Config{
+		Sims: map[string]similarity.Spec{"Institution": similarity.EDK(2)},
+	}
+}
+
+// negativesFor clones the truth table and corrupts exactly attr using
+// the semantically-related value the paper's noise model would inject.
+func negativesFor(ex *dataset.PaperExample, attr string, swap map[string]string) *relation.Table {
+	tb := relation.NewTable(ex.Schema)
+	for _, tu := range ex.Truth.Tuples {
+		wrong, ok := swap[tu.Values[0]]
+		if !ok {
+			continue
+		}
+		cl := tu.Clone()
+		cl.Values[ex.Schema.MustCol(attr)] = wrong
+		tb.Tuples = append(tb.Tuples, cl)
+	}
+	return tb
+}
+
+func TestDiscoverGraphTypesAndRelations(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	d, err := rulegen.DiscoverGraph(ex.KB, ex.Schema, ex.Truth, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := make(map[string]string)
+	for _, n := range d.Graph.Nodes {
+		types[n.Col] = n.Type
+	}
+	want := map[string]string{
+		"Name":        "Nobel laureates in Chemistry",
+		"DOB":         "literal",
+		"Country":     "country",
+		"Prize":       "Chemistry awards",
+		"Institution": "organization",
+		"City":        "city",
+	}
+	for col, ty := range want {
+		if types[col] != ty {
+			t.Errorf("type(%s) = %q, want %q", col, types[col], ty)
+		}
+	}
+	rels := make(map[string]bool)
+	for _, e := range d.Graph.Edges {
+		rels[e.From+"/"+e.Rel+"/"+e.To] = true
+	}
+	for _, w := range []string{
+		"cName/bornOnDate/cDOB",
+		"cName/worksAt/cInstitution",
+		"cName/isCitizenOf/cCountry",
+		"cName/wonPrize/cPrize",
+		"cInstitution/locatedIn/cCity",
+		"cCity/locatedIn/cCountry",
+	} {
+		if !rels[w] {
+			t.Errorf("missing discovered relationship %s (have %v)", w, rels)
+		}
+	}
+	if rels["cName/wasBornIn/cCity"] {
+		t.Error("wasBornIn must not be discovered from correct tuples")
+	}
+	if d.TypeSupport["Name"] != 1.0 {
+		t.Errorf("TypeSupport[Name] = %v", d.TypeSupport["Name"])
+	}
+}
+
+func TestGeneratePaperLikeRules(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	negatives := map[string]*relation.Table{
+		"City": negativesFor(ex, "City", map[string]string{
+			"Avram Hershko": "Karcag", "Marie Curie": "Warsaw",
+			"Roald Hoffmann": "Zolochiv", "Melvin Calvin": "St. Paul",
+		}),
+		"Prize": negativesFor(ex, "Prize", map[string]string{
+			"Avram Hershko": "Albert Lasker Award for Medicine",
+			"Roald Hoffmann": "National Medal of Science",
+		}),
+		"Country": negativesFor(ex, "Country", map[string]string{
+			"Avram Hershko": "Hungary", "Marie Curie": "Poland", "Roald Hoffmann": "Ukraine",
+		}),
+		"Institution": negativesFor(ex, "Institution", map[string]string{
+			"Avram Hershko": "Hebrew University of Jerusalem", "Marie Curie": "University of Paris",
+			"Roald Hoffmann": "Harvard University", "Melvin Calvin": "University of Minnesota",
+		}),
+	}
+	drs, err := rulegen.Generate(ex.KB, ex.Schema, ex.Truth, negatives, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drs) != 4 {
+		names := make([]string, len(drs))
+		for i, r := range drs {
+			names[i] = r.Name
+		}
+		t.Fatalf("generated %d rules (%v), want 4", len(drs), names)
+	}
+	byCol := make(map[string]*rules.DR)
+	for _, r := range drs {
+		if err := r.Validate(ex.Schema); err != nil {
+			t.Errorf("%s invalid: %v", r.Name, err)
+		}
+		byCol[r.PosCol()] = r
+	}
+
+	city := byCol["City"]
+	if city == nil {
+		t.Fatal("no City rule")
+	}
+	if city.Pos.Type != "city" || city.Neg.Type != "city" {
+		t.Errorf("City rule types: pos=%s neg=%s", city.Pos.Type, city.Neg.Type)
+	}
+	foundBorn := false
+	for _, e := range city.Edges {
+		if e.To == "n" && e.Rel == "wasBornIn" {
+			foundBorn = true
+		}
+	}
+	if !foundBorn {
+		t.Error("City rule missing the wasBornIn negative edge")
+	}
+
+	prize := byCol["Prize"]
+	if prize == nil {
+		t.Fatal("no Prize rule")
+	}
+	if prize.Pos.Type != "Chemistry awards" || prize.Neg.Type != "American awards" {
+		t.Errorf("Prize rule types: pos=%s neg=%s (want the paper's ϕ4 split)", prize.Pos.Type, prize.Neg.Type)
+	}
+
+	country := byCol["Country"]
+	if country == nil {
+		t.Fatal("no Country rule")
+	}
+	foundBornAt := false
+	for _, e := range country.Edges {
+		if e.To == "n" && e.Rel == "bornAt" {
+			foundBornAt = true
+		}
+	}
+	if !foundBornAt {
+		t.Error("Country rule missing the bornAt negative edge")
+	}
+}
+
+func TestGeneratedRulesRepairSingleErrors(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	negatives := map[string]*relation.Table{
+		"City": negativesFor(ex, "City", map[string]string{
+			"Avram Hershko": "Karcag", "Marie Curie": "Warsaw",
+			"Roald Hoffmann": "Zolochiv", "Melvin Calvin": "St. Paul",
+		}),
+	}
+	drs, err := rulegen.Generate(ex.KB, ex.Schema, ex.Truth, negatives, cfg())
+	if err != nil || len(drs) != 1 {
+		t.Fatalf("Generate: %v (%d rules)", err, len(drs))
+	}
+	e, err := repair.NewEngine(drs, ex.KB, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hershko with only the City error: the generated rule repairs it.
+	tu := ex.Truth.Tuples[0].Clone()
+	tu.Values[ex.Schema.MustCol("City")] = "Karcag"
+	got := e.FastRepair(tu)
+	if got.Values[ex.Schema.MustCol("City")] != "Haifa" {
+		t.Fatalf("generated rule did not repair City: %v", got)
+	}
+}
+
+func TestGenerateConservativeCases(t *testing.T) {
+	ex := dataset.NewPaperExample()
+
+	// Negative values unknown to the KB: no negative semantics, no rule.
+	unknown := negativesFor(ex, "City", map[string]string{
+		"Avram Hershko": "Xyzzyville", "Marie Curie": "Nowhere",
+		"Roald Hoffmann": "Atlantis", "Melvin Calvin": "Erewhon",
+	})
+	drs, err := rulegen.Generate(ex.KB, ex.Schema, ex.Truth,
+		map[string]*relation.Table{"City": unknown}, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drs) != 0 {
+		t.Errorf("unknown wrong values: generated %d rules, want 0", len(drs))
+	}
+
+	// No positive examples is an error.
+	if _, err := rulegen.Generate(ex.KB, ex.Schema, relation.NewTable(ex.Schema), nil, cfg()); err == nil {
+		t.Error("empty positives: want error")
+	}
+
+	// Negative examples for an unknown attribute is an error.
+	if _, err := rulegen.Generate(ex.KB, ex.Schema, ex.Truth,
+		map[string]*relation.Table{"Nope": unknown}, cfg()); err == nil {
+		t.Error("unknown attribute: want error")
+	}
+
+	// Empty negative table contributes nothing.
+	drs, err = rulegen.Generate(ex.KB, ex.Schema, ex.Truth,
+		map[string]*relation.Table{"City": relation.NewTable(ex.Schema)}, cfg())
+	if err != nil || len(drs) != 0 {
+		t.Errorf("empty negatives: %v, %d rules", err, len(drs))
+	}
+}
+
+func TestMaxEvidencePruning(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	c := cfg()
+	c.MaxEvidence = 2
+	negatives := map[string]*relation.Table{
+		"City": negativesFor(ex, "City", map[string]string{
+			"Avram Hershko": "Karcag", "Marie Curie": "Warsaw",
+			"Roald Hoffmann": "Zolochiv", "Melvin Calvin": "St. Paul",
+		}),
+	}
+	drs, err := rulegen.Generate(ex.KB, ex.Schema, ex.Truth, negatives, c)
+	if err != nil || len(drs) != 1 {
+		t.Fatalf("Generate: %v (%d rules)", err, len(drs))
+	}
+	dr := drs[0]
+	if len(dr.Evidence) != 2 {
+		t.Fatalf("evidence = %v, want 2 nodes", dr.Evidence)
+	}
+	if err := dr.Validate(ex.Schema); err != nil {
+		t.Fatalf("pruned rule invalid: %v", err)
+	}
+}
+
+func TestRankOrdersRulesByTrustworthiness(t *testing.T) {
+	ex := dataset.NewPaperExample()
+
+	// A good rule (the paper's City rule) and a deliberately harmful
+	// one that "repairs" City to the birth city (swapped semantics).
+	good := dataset.PaperRules()[1] // phi2
+	badNeg := rules.Node{Name: "n", Col: "City", Type: "city", Sim: similarity.Eq}
+	bad := &rules.DR{
+		Name: "swapped_city",
+		Evidence: []rules.Node{
+			{Name: "e1", Col: "Name", Type: "Nobel laureates in Chemistry", Sim: similarity.Eq},
+			{Name: "e2", Col: "Institution", Type: "organization", Sim: similarity.EDK(2)},
+		},
+		Pos: rules.Node{Name: "p", Col: "City", Type: "city", Sim: similarity.Eq},
+		Neg: &badNeg,
+		Edges: []rules.Edge{
+			{From: "e1", Rel: "worksAt", To: "e2"},
+			{From: "e1", Rel: "wasBornIn", To: "p"},      // positive = born in (wrong!)
+			{From: "e2", Rel: "locatedIn", To: "n"},      // negative = institution city
+		},
+	}
+
+	scores, err := rulegen.Rank([]*rules.DR{bad, good}, ex.KB, ex.Schema, ex.Truth, ex.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("scores = %v", scores)
+	}
+	if scores[0].Rule.Name != good.Name {
+		t.Fatalf("ranking = [%s, %s], want the good rule first", scores[0].Rule.Name, scores[1].Rule.Name)
+	}
+	if p := scores[0].Precision(); p != 1 {
+		t.Errorf("good rule precision = %v, want 1", p)
+	}
+	if p := scores[1].Precision(); p >= 1 {
+		t.Errorf("swapped rule precision = %v, want < 1", p)
+	}
+	if scores[1].WrongMarks == 0 {
+		t.Error("swapped rule should mark erroneous cells as correct")
+	}
+	for _, s := range scores {
+		if s.String() == "" {
+			t.Error("empty score rendering")
+		}
+	}
+}
+
+func TestRankRejectsMismatchedTables(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	short := &relation.Table{Schema: ex.Schema, Tuples: ex.Dirty.Tuples[:2]}
+	if _, err := rulegen.Rank(ex.Rules, ex.KB, ex.Schema, ex.Truth, short); err == nil {
+		t.Fatal("want error for mismatched table sizes")
+	}
+}
+
+func TestGenerateCandidatesTypeVariants(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	negatives := map[string]*relation.Table{
+		"Prize": negativesFor(ex, "Prize", map[string]string{
+			"Avram Hershko":  "Albert Lasker Award for Medicine",
+			"Roald Hoffmann": "National Medal of Science",
+		}),
+	}
+	c := cfg()
+	c.TypeCandidates = 3
+	cands, err := rulegen.GenerateCandidates(ex.KB, ex.Schema, ex.Truth, negatives, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prize := cands["Prize"]
+	if len(prize) == 0 {
+		t.Fatal("no Prize candidates")
+	}
+	// The top candidate matches Generate's single output.
+	single, err := rulegen.Generate(ex.KB, ex.Schema, ex.Truth, negatives, c)
+	if err != nil || len(single) != 1 {
+		t.Fatalf("Generate: %v (%d)", err, len(single))
+	}
+	if prize[0].Pos.Type != single[0].Pos.Type {
+		t.Errorf("top candidate type %q != Generate's %q", prize[0].Pos.Type, single[0].Pos.Type)
+	}
+	// With the Yago taxonomy, "award" is a viable (less specific)
+	// alternative type for the Prize column, so more than one candidate
+	// should surface, each valid and uniquely named.
+	if len(prize) < 2 {
+		t.Fatalf("candidates = %d, want >= 2 (taxonomy alternatives)", len(prize))
+	}
+	names := make(map[string]bool)
+	for _, dr := range prize {
+		if err := dr.Validate(ex.Schema); err != nil {
+			t.Errorf("%s invalid: %v", dr.Name, err)
+		}
+		if names[dr.Name] {
+			t.Errorf("duplicate candidate name %s", dr.Name)
+		}
+		names[dr.Name] = true
+	}
+}
+
+func TestGenerateCandidatesDefaultsMatchGenerate(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	negatives := map[string]*relation.Table{
+		"City": negativesFor(ex, "City", map[string]string{
+			"Avram Hershko": "Karcag", "Marie Curie": "Warsaw",
+			"Roald Hoffmann": "Zolochiv", "Melvin Calvin": "St. Paul",
+		}),
+	}
+	cands, err := rulegen.GenerateCandidates(ex.KB, ex.Schema, ex.Truth, negatives, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands["City"]) != 1 {
+		t.Fatalf("default TypeCandidates should yield 1 candidate, got %d", len(cands["City"]))
+	}
+}

@@ -1,0 +1,110 @@
+package rules
+
+import (
+	"fmt"
+	"sync"
+
+	"detective/internal/kb"
+	"detective/internal/similarity"
+)
+
+// MaxEDThreshold is the largest edit-distance threshold rule nodes may
+// use. The per-class signature indexes are built once with this bound
+// (PASS-JOIN segments are fixed at index-build time).
+const MaxEDThreshold = 3
+
+// Catalog answers "which KB instances of class T match value v under
+// sim?" — the instance-matching primitive of §IV-B(2). It lazily
+// builds one signature-based StringIndex per KB class, shared by all
+// rules and all tuples, so similarity matching never scans a class
+// extent.
+type Catalog struct {
+	KB *kb.Graph
+
+	mu  sync.RWMutex
+	idx map[kb.ID]*similarity.StringIndex
+}
+
+// NewCatalog creates a catalog over g.
+func NewCatalog(g *kb.Graph) *Catalog {
+	return &Catalog{KB: g, idx: make(map[kb.ID]*similarity.StringIndex)}
+}
+
+// classIndex returns (building on first use) the signature index over
+// the instance names of cls. It is safe for concurrent use; the KB
+// must not be mutated once lookups begin.
+func (c *Catalog) classIndex(cls kb.ID) *similarity.StringIndex {
+	c.mu.RLock()
+	ix, ok := c.idx[cls]
+	c.mu.RUnlock()
+	if ok {
+		return ix
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ix, ok := c.idx[cls]; ok {
+		return ix
+	}
+	ix = similarity.NewStringIndex(MaxEDThreshold)
+	for _, inst := range c.KB.InstancesOf(cls) {
+		ix.Add(c.KB.Name(inst), int32(inst))
+	}
+	c.idx[cls] = ix
+	return ix
+}
+
+// Candidates returns the instances of class typeName whose names match
+// value under spec. A type unknown to the KB yields no candidates.
+// Edit-distance specs beyond MaxEDThreshold are rejected at rule
+// validation time; reaching here with one is a programming error.
+func (c *Catalog) Candidates(typeName string, spec similarity.Spec, value string) []kb.ID {
+	if spec.Op == similarity.OpED && spec.K > MaxEDThreshold {
+		panic(fmt.Sprintf("rules: ED threshold %d exceeds MaxEDThreshold %d", spec.K, MaxEDThreshold))
+	}
+	cls := c.KB.Lookup(typeName)
+	if cls == kb.Invalid {
+		return nil
+	}
+	raw := c.classIndex(cls).Lookup(spec, value)
+	if len(raw) == 0 {
+		return nil
+	}
+	out := make([]kb.ID, len(raw))
+	for i, p := range raw {
+		out[i] = kb.ID(p)
+	}
+	return out
+}
+
+// HasCandidate reports whether Candidates would be non-empty; it is
+// the node-level check memoized by the fast repair engine.
+func (c *Catalog) HasCandidate(typeName string, spec similarity.Spec, value string) bool {
+	return len(c.Candidates(typeName, spec, value)) > 0
+}
+
+// CandidatesScan is the unindexed counterpart of Candidates: it
+// enumerates every instance of the class and tests the matching
+// operation directly, the O(|C|·|X|) per-node cost the paper charges
+// to the basic repair algorithm (§IV-A complexity analysis). The fast
+// repair algorithm replaces this with the signature indexes.
+func (c *Catalog) CandidatesScan(typeName string, spec similarity.Spec, value string) []kb.ID {
+	cls := c.KB.Lookup(typeName)
+	if cls == kb.Invalid {
+		return nil
+	}
+	var out []kb.ID
+	for _, inst := range c.KB.InstancesOf(cls) {
+		if spec.Match(value, c.KB.Name(inst)) {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// Lookup retrieves candidates with or without the signature indexes.
+func (c *Catalog) Lookup(typeName string, spec similarity.Spec, value string, scan bool) []kb.ID {
+	if scan {
+		return c.CandidatesScan(typeName, spec, value)
+	}
+	return c.Candidates(typeName, spec, value)
+}

@@ -1,0 +1,791 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"detective/internal/kb"
+	"detective/internal/relation"
+	"detective/internal/similarity"
+)
+
+// Assignment maps rule-node names to the KB instances they matched —
+// one instance-level matching graph (§II-B).
+type Assignment map[string]kb.ID
+
+func (a Assignment) clone() Assignment {
+	out := make(Assignment, len(a)+1)
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// FindAssignments returns instance-level matching graphs binding every
+// node to a KB instance such that (1) the tuple value of the node's
+// column matches the instance under the node's sim, (2) the instance
+// has the node's type, and (3) every edge's relationship holds between
+// the bound instances. At most limit assignments are returned
+// (limit <= 0 means all). Nodes are matched in ascending candidate-set
+// order, and edges are checked as soon as both endpoints are bound.
+func FindAssignments(cat *Catalog, schema *relation.Schema, t *relation.Tuple,
+	nodes []Node, edges []Edge, limit int) []Assignment {
+	return findAssignments(cat, schema, t, nodes, edges, limit, false)
+}
+
+// findAssignments is FindAssignments with an explicit retrieval mode:
+// scan=true charges the basic algorithm's full class-extent scan for
+// every node instead of using the signature indexes.
+func findAssignments(cat *Catalog, schema *relation.Schema, t *relation.Tuple,
+	nodes []Node, edges []Edge, limit int, scan bool) []Assignment {
+
+	// Candidate sets per column-bound node. Column-less nodes (path
+	// nodes) are resolved lazily from their already-bound neighbours.
+	cands := make([][]kb.ID, len(nodes))
+	var bound, lazy []int
+	for i, n := range nodes {
+		if n.Col == "" {
+			lazy = append(lazy, i)
+			continue
+		}
+		col := schema.Col(n.Col)
+		if col < 0 {
+			return nil
+		}
+		cands[i] = cat.Lookup(n.Type, n.Sim, t.Values[col], scan)
+		if len(cands[i]) == 0 {
+			return nil
+		}
+		bound = append(bound, i)
+	}
+	if len(bound) == 0 && len(lazy) > 0 {
+		return nil // nothing to anchor the existential nodes on
+	}
+
+	// Match cheapest bound nodes first, then path nodes in an order
+	// where each has at least one previously matched neighbour.
+	sort.Slice(bound, func(a, b int) bool { return len(cands[bound[a]]) < len(cands[bound[b]]) })
+	order, ok := attachLazy(nodes, edges, bound, lazy)
+	if !ok {
+		return nil // a path node is disconnected from the anchored part
+	}
+
+	pos := make(map[string]int, len(nodes)) // node name -> index in nodes
+	for i, n := range nodes {
+		pos[n.Name] = i
+	}
+
+	var out []Assignment
+	cur := make(Assignment, len(nodes))
+
+	var rec func(step int) bool // returns true when the limit is hit
+	rec = func(step int) bool {
+		if step == len(order) {
+			out = append(out, cur.clone())
+			return limit > 0 && len(out) >= limit
+		}
+		ni := order[step]
+		node := nodes[ni]
+		options := cands[ni]
+		if node.Col == "" {
+			options = lazyCandidates(cat, nodes, edges, cur, ni)
+		}
+	candidates:
+		for _, inst := range options {
+			// Edges whose both endpoints are now bound must hold.
+			for _, e := range edges {
+				fi, ok1 := pos[e.From]
+				ti, ok2 := pos[e.To]
+				if !ok1 || !ok2 {
+					continue // edge touches a node outside this set
+				}
+				if fi != ni && ti != ni {
+					continue // neither endpoint is the node being bound
+				}
+				var from, to kb.ID
+				if fi == ni {
+					from = inst
+					v, bound := cur[e.To]
+					if !bound {
+						continue
+					}
+					to = v
+				} else {
+					to = inst
+					v, bound := cur[e.From]
+					if !bound {
+						continue
+					}
+					from = v
+				}
+				rel := cat.KB.Lookup(e.Rel)
+				if rel == kb.Invalid || !cat.KB.HasEdge(from, rel, to) {
+					continue candidates
+				}
+			}
+			cur[node.Name] = inst
+			if rec(step + 1) {
+				return true
+			}
+			delete(cur, node.Name)
+		}
+		return false
+	}
+	rec(0)
+	return out
+}
+
+// attachLazy appends the lazy node indexes to the bound order such
+// that each lazy node, when visited, is adjacent to an already-placed
+// node. ok is false when some lazy node can never attach.
+func attachLazy(nodes []Node, edges []Edge, bound, lazy []int) ([]int, bool) {
+	order := append([]int(nil), bound...)
+	placed := make(map[string]bool, len(nodes))
+	for _, i := range bound {
+		placed[nodes[i].Name] = true
+	}
+	remaining := append([]int(nil), lazy...)
+	for len(remaining) > 0 {
+		progress := false
+		for k, i := range remaining {
+			name := nodes[i].Name
+			attached := false
+			for _, e := range edges {
+				if e.From == name && placed[e.To] || e.To == name && placed[e.From] {
+					attached = true
+					break
+				}
+			}
+			if attached {
+				order = append(order, i)
+				placed[name] = true
+				remaining = append(remaining[:k], remaining[k+1:]...)
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			return nil, false
+		}
+	}
+	return order, true
+}
+
+// lazyCandidates computes the instances that can stand as the
+// column-less node ni: the intersection of the relationship
+// neighbourhoods of its already-bound neighbours, filtered by type.
+func lazyCandidates(cat *Catalog, nodes []Node, edges []Edge, cur Assignment, ni int) []kb.ID {
+	g := cat.KB
+	node := nodes[ni]
+	cls := g.Lookup(node.Type)
+	if cls == kb.Invalid {
+		return nil
+	}
+	var result map[kb.ID]bool
+	for _, e := range edges {
+		var neigh []kb.ID
+		switch {
+		case e.From == node.Name:
+			o, bound := cur[e.To]
+			if !bound {
+				continue
+			}
+			rel := g.Lookup(e.Rel)
+			if rel == kb.Invalid {
+				return nil
+			}
+			neigh = g.Subjects(rel, o)
+		case e.To == node.Name:
+			o, bound := cur[e.From]
+			if !bound {
+				continue
+			}
+			rel := g.Lookup(e.Rel)
+			if rel == kb.Invalid {
+				return nil
+			}
+			neigh = g.Objects(o, rel)
+		default:
+			continue
+		}
+		set := make(map[kb.ID]bool, len(neigh))
+		for _, x := range neigh {
+			if !g.HasType(x, cls) {
+				continue
+			}
+			if result == nil || result[x] {
+				set[x] = true
+			}
+		}
+		result = set
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	if result == nil {
+		return nil
+	}
+	out := make([]kb.ID, 0, len(result))
+	for x := range result {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// OutcomeKind classifies the result of evaluating a rule on a tuple.
+type OutcomeKind uint8
+
+const (
+	// NoMatch: the rule says nothing about the tuple.
+	NoMatch OutcomeKind = iota
+	// Positive: proof positive — evidence and positive node matched;
+	// the touched cells are correct (§II-C case 1).
+	Positive
+	// Repair: proof negative and correction — evidence plus negative
+	// node matched and the KB supplies at least one replacement value
+	// (§II-C cases 2–3).
+	Repair
+)
+
+func (k OutcomeKind) String() string {
+	switch k {
+	case Positive:
+		return "positive"
+	case Repair:
+		return "repair"
+	default:
+		return "no-match"
+	}
+}
+
+// Outcome is the verdict of one rule on one tuple.
+type Outcome struct {
+	Kind OutcomeKind
+	// MarkCols are the columns proven correct (evidence ∪ {p}).
+	MarkCols []string
+	// RepairCol is the column to rewrite (only for Kind == Repair).
+	RepairCol string
+	// Repairs holds the candidate correct values drawn from the KB,
+	// deduplicated and ordered most-similar first. More than one entry
+	// is a multi-version repair (§IV-C).
+	Repairs []string
+	// Witness maps rule-node names to the KB instance names of one
+	// instance-level matching graph behind the verdict — the
+	// "white-box" provenance of the decision. For a Repair via proof
+	// negative, the negative node's binding is the instance the wrong
+	// value matched; path nodes appear under their declared names.
+	Witness map[string]string
+	// Canonical maps matched columns to the canonical KB instance name
+	// when the tuple value matched only fuzzily (a typo within the
+	// node's similarity threshold). Applying the rule rewrites these
+	// cells to the canonical names so that, regardless of which rule
+	// marks a cell first, the fixpoint carries the KB's spelling —
+	// without this, marking a typo'd evidence value would freeze the
+	// typo and break the Church-Rosser property.
+	Canonical map[string]string
+}
+
+// Matcher evaluates one detective rule against tuples of one schema
+// using one KB.
+type Matcher struct {
+	Rule   *DR
+	Cat    *Catalog
+	Schema *relation.Schema
+
+	// Scan disables the signature indexes for candidate retrieval,
+	// reproducing the basic repair algorithm's per-node cost model.
+	Scan bool
+
+	posNodes    []Node // evidence ∪ {pos}
+	posEdges    []Edge
+	negNodes    []Node // evidence ∪ {neg}; nil if annotation-only
+	negEdges    []Edge
+	evEdges     []Edge
+	posIncident []Edge // edges incident to the positive node
+	negIncident []Edge // edges incident to the negative node
+	markCols    []string
+}
+
+// NewMatcher validates the rule against the schema and prepares the
+// node sets used during evaluation.
+func NewMatcher(rule *DR, cat *Catalog, schema *relation.Schema) (*Matcher, error) {
+	if err := rule.Validate(schema); err != nil {
+		return nil, err
+	}
+	allNodes := append(append([]Node(nil), rule.Evidence...), rule.Pos)
+	if rule.Neg != nil {
+		allNodes = append(allNodes, *rule.Neg)
+	}
+	for _, n := range allNodes {
+		if n.Sim.Op == similarity.OpED && n.Sim.K > MaxEDThreshold {
+			return nil, fmt.Errorf("rules: %s: node %s: ED threshold %d exceeds supported maximum %d",
+				rule.Name, n.Name, n.Sim.K, MaxEDThreshold)
+		}
+	}
+	m := &Matcher{Rule: rule, Cat: cat, Schema: schema}
+	pg := rule.positiveGraph()
+	m.posNodes, m.posEdges = pg.Nodes, pg.Edges
+	if ng, ok := rule.negativeGraph(); ok {
+		m.negNodes, m.negEdges = ng.Nodes, ng.Edges
+	}
+	m.evEdges = rule.evidenceEdges()
+	m.posIncident = rule.posEdges()
+	m.negIncident = rule.negEdges()
+	m.markCols = append(rule.EvidenceCols(), rule.Pos.Col)
+	return m, nil
+}
+
+// MarkCols returns the columns a successful application marks.
+func (m *Matcher) MarkCols() []string { return m.markCols }
+
+// assignmentCap bounds the number of instance-level matching graphs
+// enumerated per rule per tuple. Evidence matches are near-functional
+// in practice (the user picks such rules, §III-B), so this is purely
+// defensive.
+const assignmentCap = 64
+
+// Evaluate applies the rule's semantics to t (read-only): proof
+// positive first, then proof negative + correction, mirroring
+// Algorithm 1 lines 3–7.
+//
+// One refinement beyond the letter of Algorithm 1: when the positive
+// node matches only *fuzzily* (the cell value is within the node's
+// similarity threshold of a KB instance but not equal to it — a typo),
+// Evaluate reports a Repair that rewrites the cell to the canonical
+// instance name instead of a bare Positive. This is how the paper's
+// experiments repair typo errors ("repair an error to the most
+// similar candidate", §V-B Exp-2(B)).
+//
+// Two equivalent strategies are implemented. The *value-driven* one
+// (used in Scan mode, i.e. by the basic algorithm) matches the full
+// positive/negative graphs with candidate sets retrieved from the
+// tuple values — the paper's Algorithm 1 cost model. The *edge-driven*
+// one (the fast engine) first matches the evidence nodes, then derives
+// positive/negative node candidates through the KB edges from the
+// matched evidence instances, which avoids value-driven retrieval over
+// large or low-entropy class extents entirely.
+func (m *Matcher) Evaluate(t *relation.Tuple) Outcome {
+	if !m.Scan && len(m.Rule.Evidence) > 0 {
+		return m.evaluateEdgeDriven(t)
+	}
+	return m.evaluateValueDriven(t)
+}
+
+// evaluateEdgeDriven matches evidence first and resolves the positive
+// and negative nodes through their incident edges.
+func (m *Matcher) evaluateEdgeDriven(t *relation.Tuple) Outcome {
+	evAs := findAssignments(m.Cat, m.Schema, t, m.Rule.Evidence, m.evEdges, assignmentCap, false)
+	if len(evAs) == 0 {
+		return Outcome{Kind: NoMatch}
+	}
+	value := t.Values[m.Schema.MustCol(m.Rule.Pos.Col)]
+
+	// (1) Proof positive: a positive-node instance consistent with the
+	// evidence whose name matches the cell value under sim(p).
+	var exactAs, fuzzyAs []Assignment
+	fuzzyNames := make(map[string]bool)
+	posCands := make([][]kb.ID, len(evAs))
+	for i, a := range evAs {
+		posCands[i] = m.poleCandidates(a, m.posNodes, m.posEdges, m.Rule.Pos, m.posIncident)
+		exact := false
+		for _, xp := range posCands[i] {
+			name := m.Cat.KB.Name(xp)
+			if !m.Rule.Pos.Sim.Match(value, name) {
+				continue
+			}
+			if name == value {
+				exact = true
+			} else {
+				fuzzyNames[name] = true
+			}
+		}
+		if exact {
+			exactAs = append(exactAs, a)
+		} else if len(fuzzyNames) > 0 {
+			fuzzyAs = append(fuzzyAs, a)
+		}
+	}
+	if len(exactAs) > 0 {
+		return Outcome{Kind: Positive, MarkCols: m.markCols,
+			Canonical: m.canonicalEvidence(t, exactAs), Witness: m.witness(exactAs[0], nil)}
+	}
+	if len(fuzzyNames) > 0 {
+		repairs := make([]string, 0, len(fuzzyNames))
+		for v := range fuzzyNames {
+			repairs = append(repairs, v)
+		}
+		sortRepairs(value, repairs)
+		return Outcome{Kind: Repair, MarkCols: m.markCols, RepairCol: m.Rule.Pos.Col,
+			Repairs: repairs, Canonical: m.canonicalEvidence(t, fuzzyAs),
+			Witness: m.witness(fuzzyAs[0], nil)}
+	}
+
+	// (2) Proof negative + (3) correction.
+	if m.Rule.Neg == nil {
+		return Outcome{Kind: NoMatch}
+	}
+	repairSet := make(map[string]bool)
+	var negAs []Assignment
+	var witness map[string]string
+	for i, a := range evAs {
+		xns := make(map[kb.ID]bool)
+		var firstXn kb.ID = kb.Invalid
+		for _, xn := range m.poleCandidates(a, m.negNodes, m.negEdges, *m.Rule.Neg, m.negIncident) {
+			if m.Rule.Neg.Sim.Match(value, m.Cat.KB.Name(xn)) {
+				xns[xn] = true
+				if firstXn == kb.Invalid {
+					firstXn = xn
+				}
+			}
+		}
+		if len(xns) == 0 {
+			continue
+		}
+		negAs = append(negAs, a)
+		repaired := false
+		for _, xp := range posCands[i] {
+			if xns[xp] {
+				continue // paper requires xp != xn
+			}
+			repairSet[m.Cat.KB.Name(xp)] = true
+			repaired = true
+		}
+		if repaired && witness == nil {
+			witness = m.witness(a, map[string]kb.ID{m.Rule.Neg.Name: firstXn})
+		}
+	}
+	if len(repairSet) == 0 {
+		return Outcome{Kind: NoMatch}
+	}
+	repairs := make([]string, 0, len(repairSet))
+	for v := range repairSet {
+		repairs = append(repairs, v)
+	}
+	sortRepairs(value, repairs)
+	return Outcome{Kind: Repair, MarkCols: m.markCols, RepairCol: m.Rule.Pos.Col,
+		Repairs: repairs, Canonical: m.canonicalEvidence(t, negAs), Witness: witness}
+}
+
+// witness renders an assignment (plus optional extra bindings) as
+// node-name -> instance-name provenance.
+func (m *Matcher) witness(a Assignment, extra map[string]kb.ID) map[string]string {
+	out := make(map[string]string, len(a)+len(extra))
+	for name, inst := range a {
+		out[name] = m.Cat.KB.Name(inst)
+	}
+	for name, inst := range extra {
+		if inst != kb.Invalid {
+			out[name] = m.Cat.KB.Name(inst)
+		}
+	}
+	return out
+}
+
+// evaluateValueDriven matches the full positive (then negative) graph
+// with value-retrieved candidate sets per node.
+func (m *Matcher) evaluateValueDriven(t *relation.Tuple) Outcome {
+	// (1) Proof positive.
+	if as := findAssignments(m.Cat, m.Schema, t, m.posNodes, m.posEdges, assignmentCap, m.Scan); len(as) > 0 {
+		value := t.Values[m.Schema.MustCol(m.Rule.Pos.Col)]
+		names := make(map[string]bool, len(as))
+		for _, a := range as {
+			names[m.Cat.KB.Name(a[m.Rule.Pos.Name])] = true
+		}
+		canon := m.canonicalEvidence(t, as)
+		if names[value] {
+			return Outcome{Kind: Positive, MarkCols: m.markCols, Canonical: canon, Witness: m.witness(as[0], nil)}
+		}
+		repairs := make([]string, 0, len(names))
+		for v := range names {
+			repairs = append(repairs, v)
+		}
+		sortRepairs(value, repairs)
+		return Outcome{Kind: Repair, MarkCols: m.markCols, RepairCol: m.Rule.Pos.Col, Repairs: repairs, Canonical: canon}
+	}
+	// (2) Proof negative + (3) correction.
+	if m.negNodes == nil {
+		return Outcome{Kind: NoMatch}
+	}
+	// Enumerate instance-level matches of evidence ∪ {neg}; for each,
+	// draw replacement instances for the positive node from the KB.
+	negAs := findAssignments(m.Cat, m.Schema, t, m.negNodes, m.negEdges, assignmentCap, m.Scan)
+	if len(negAs) == 0 {
+		return Outcome{Kind: NoMatch}
+	}
+	repairSet := make(map[string]bool)
+	for _, a := range negAs {
+		xn := a[m.Rule.Neg.Name]
+		for _, xp := range m.correctionCandidates(a) {
+			if xp == xn {
+				continue // paper requires xp != xn
+			}
+			repairSet[m.Cat.KB.Name(xp)] = true
+		}
+	}
+	if len(repairSet) == 0 {
+		// Proof negative held but the KB offers no correction: stay
+		// conservative and do nothing (the paper repairs only when the
+		// evidence is sufficient).
+		return Outcome{Kind: NoMatch}
+	}
+	repairs := make([]string, 0, len(repairSet))
+	for v := range repairSet {
+		repairs = append(repairs, v)
+	}
+	sortRepairs(t.Values[m.Schema.MustCol(m.Rule.Pos.Col)], repairs)
+	return Outcome{Kind: Repair, MarkCols: m.markCols, RepairCol: m.Rule.Pos.Col,
+		Repairs: repairs, Canonical: m.canonicalEvidence(t, negAs)}
+}
+
+// canonicalEvidence derives, for each evidence node whose tuple value
+// matched a KB instance only fuzzily, the canonical instance name — if
+// it is unique across the found assignments. Ambiguous matches are
+// left untouched.
+func (m *Matcher) canonicalEvidence(t *relation.Tuple, as []Assignment) map[string]string {
+	var canon map[string]string
+	for _, n := range m.Rule.Evidence {
+		if !n.Sim.Fuzzy() {
+			continue
+		}
+		value := t.Values[m.Schema.MustCol(n.Col)]
+		unique := ""
+		ambiguous := false
+		for _, a := range as {
+			name := m.Cat.KB.Name(a[n.Name])
+			if name == value {
+				// The raw value itself is a KB instance: keep it.
+				unique = ""
+				ambiguous = true
+				break
+			}
+			if unique == "" {
+				unique = name
+			} else if unique != name {
+				ambiguous = true
+				break
+			}
+		}
+		if !ambiguous && unique != "" {
+			if canon == nil {
+				canon = make(map[string]string)
+			}
+			canon[n.Col] = unique
+		}
+	}
+	return canon
+}
+
+// sortRepairs orders candidate repairs by ascending edit distance to
+// the current (wrong) value, ties broken lexically, so Repairs[0] is
+// the "most similar candidate" the paper's single-version experiments
+// repair to (§V-B Exp-2(B)).
+func sortRepairs(value string, repairs []string) {
+	if len(repairs) < 2 {
+		return
+	}
+	dist := make(map[string]int, len(repairs))
+	for _, r := range repairs {
+		dist[r] = similarity.ED(value, r)
+	}
+	sort.Slice(repairs, func(i, j int) bool {
+		if dist[repairs[i]] != dist[repairs[j]] {
+			return dist[repairs[i]] < dist[repairs[j]]
+		}
+		return repairs[i] < repairs[j]
+	})
+}
+
+// correctionCandidates computes the KB instances that can stand as the
+// positive node given an evidence assignment.
+func (m *Matcher) correctionCandidates(evidence Assignment) []kb.ID {
+	return m.poleCandidates(evidence, m.posNodes, m.posEdges, m.Rule.Pos, m.posIncident)
+}
+
+// poleCandidates computes the KB instances that can stand as the
+// positive or negative node given an evidence assignment. Without
+// path nodes this is the direct edge-neighbourhood intersection; with
+// path nodes the side graph is traversed existentially (the §II-C
+// path extension), collecting every pole instance reachable through
+// type-consistent intermediate instances.
+func (m *Matcher) poleCandidates(evidence Assignment, sideNodes []Node, sideEdges []Edge,
+	pole Node, incident []Edge) []kb.ID {
+	if len(m.Rule.Path) == 0 {
+		return m.nodeCandidates(evidence, pole, incident)
+	}
+
+	// Partition side-graph nodes into seeded (evidence) and
+	// existential (path nodes + the pole, resolved via edges).
+	var bound, lazy []int
+	lazyNodes := make([]Node, len(sideNodes))
+	for i, n := range sideNodes {
+		if _, ok := evidence[n.Name]; ok {
+			bound = append(bound, i)
+			lazyNodes[i] = n
+		} else {
+			lazy = append(lazy, i)
+			nn := n
+			nn.Col = "" // resolve through edges; sim applied by caller
+			lazyNodes[i] = nn
+		}
+	}
+	order, ok := attachLazy(lazyNodes, sideEdges, bound, lazy)
+	if !ok {
+		return nil
+	}
+
+	const (
+		maxPole       = 256
+		maxExpansions = 8192
+	)
+	poleSet := make(map[kb.ID]bool)
+	cur := make(Assignment, len(sideNodes))
+	for name, inst := range evidence {
+		cur[name] = inst
+	}
+	expansions := 0
+	var rec func(step int) bool
+	rec = func(step int) bool {
+		if expansions >= maxExpansions || len(poleSet) >= maxPole {
+			return true
+		}
+		if step == len(order) {
+			poleSet[cur[pole.Name]] = true
+			return false
+		}
+		ni := order[step]
+		name := lazyNodes[ni].Name
+		if _, seeded := cur[name]; seeded {
+			return rec(step + 1)
+		}
+		for _, inst := range lazyCandidates(m.Cat, lazyNodes, sideEdges, cur, ni) {
+			expansions++
+			cur[name] = inst
+			if rec(step + 1) {
+				delete(cur, name)
+				return true
+			}
+			delete(cur, name)
+		}
+		return false
+	}
+	rec(0)
+	out := make([]kb.ID, 0, len(poleSet))
+	for x := range poleSet {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// nodeCandidates computes the KB instances that can stand as node
+// given an evidence assignment: the intersection of the relationship
+// neighbourhoods demanded by every incident edge, filtered by the
+// node's type.
+func (m *Matcher) nodeCandidates(evidence Assignment, node Node, incident []Edge) []kb.ID {
+	g := m.Cat.KB
+	cls := g.Lookup(node.Type)
+	if cls == kb.Invalid {
+		return nil
+	}
+	var result map[kb.ID]bool
+	for _, e := range incident {
+		var neigh []kb.ID
+		if e.From == node.Name {
+			// edge p -> v: candidates are subjects of (x, rel, I[v])
+			v, ok := evidence[e.To]
+			if !ok {
+				return nil
+			}
+			rel := g.Lookup(e.Rel)
+			if rel == kb.Invalid {
+				return nil
+			}
+			neigh = g.Subjects(rel, v)
+		} else {
+			// edge v -> p: candidates are objects of (I[v], rel, x)
+			v, ok := evidence[e.From]
+			if !ok {
+				return nil
+			}
+			rel := g.Lookup(e.Rel)
+			if rel == kb.Invalid {
+				return nil
+			}
+			neigh = g.Objects(v, rel)
+		}
+		set := make(map[kb.ID]bool, len(neigh))
+		for _, x := range neigh {
+			if !g.HasType(x, cls) {
+				continue
+			}
+			if result == nil || result[x] {
+				set[x] = true
+			}
+		}
+		result = set
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	if result == nil {
+		return nil
+	}
+	out := make([]kb.ID, 0, len(result))
+	for x := range result {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NodeCheck reports whether t can match node n at the value level:
+// some KB instance of n's type matches t[col(n)] under n's sim. It is
+// the unit the fast repair engine memoizes across rules (Figure 5 node
+// keys).
+func (m *Matcher) NodeCheck(t *relation.Tuple, n Node) bool {
+	col := m.Schema.Col(n.Col)
+	if col < 0 {
+		return false
+	}
+	return m.Cat.HasCandidate(n.Type, n.Sim, t.Values[col])
+}
+
+// EdgeCheck reports whether t can match edge e at the value level:
+// some pair of candidate instances of the endpoint nodes is connected
+// by e's relationship. from and to are the endpoint nodes of e.
+func (m *Matcher) EdgeCheck(t *relation.Tuple, e Edge, from, to Node) bool {
+	g := m.Cat.KB
+	rel := g.Lookup(e.Rel)
+	if rel == kb.Invalid {
+		return false
+	}
+	fc := m.Cat.Candidates(from.Type, from.Sim, t.Values[m.Schema.MustCol(from.Col)])
+	if len(fc) == 0 {
+		return false
+	}
+	tc := m.Cat.Candidates(to.Type, to.Sim, t.Values[m.Schema.MustCol(to.Col)])
+	if len(tc) == 0 {
+		return false
+	}
+	toSet := make(map[kb.ID]bool, len(tc))
+	for _, x := range tc {
+		toSet[x] = true
+	}
+	for _, f := range fc {
+		for _, o := range g.Objects(f, rel) {
+			if toSet[o] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EdgeKey is the shared-computation identity of an edge check — the
+// Figure 5 edge keys ("Name, worksAt, Institution"), refined with the
+// endpoint node keys so that two rules share a check only when it is
+// genuinely the same predicate over the same (col, type, sim) pairs.
+func EdgeKey(from Node, rel string, to Node) string {
+	return from.Key() + "\x01" + rel + "\x01" + to.Key()
+}

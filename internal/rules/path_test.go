@@ -1,0 +1,204 @@
+package rules_test
+
+import (
+	"bytes"
+	"testing"
+
+	"detective/internal/kb"
+	"detective/internal/relation"
+	"detective/internal/repair"
+	"detective/internal/rules"
+	"detective/internal/similarity"
+)
+
+// pathFixture builds the motivating scenario for negative paths
+// (§II-C remark): Zip wrongly holds the zip code of the person's
+// *birth* city, two hops away in the KB (Name -bornIn-> ?city
+// -hasZip-> n).
+func pathFixture() (*kb.Graph, *relation.Schema, *rules.DR) {
+	g := kb.New()
+	g.AddType("Ann", "person")
+	g.AddType("Springfield", "city")
+	g.AddType("Shelbyville", "city")
+	g.AddType("11111", "zipcode")
+	g.AddType("22222", "zipcode")
+	g.AddType("33333", "zipcode")
+	g.AddTriple("Ann", "livesIn", "Springfield")
+	g.AddTriple("Ann", "bornIn", "Shelbyville")
+	g.AddTriple("Springfield", "hasZip", "11111")
+	g.AddTriple("Shelbyville", "hasZip", "22222")
+
+	schema := relation.NewSchema("UIS", "Name", "City", "Zip")
+
+	neg := rules.Node{Name: "n", Col: "Zip", Type: "zipcode", Sim: similarity.Eq}
+	dr := &rules.DR{
+		Name: "zip_path",
+		Evidence: []rules.Node{
+			{Name: "e1", Col: "Name", Type: "person", Sim: similarity.Eq},
+			{Name: "e2", Col: "City", Type: "city", Sim: similarity.Eq},
+		},
+		Pos:  rules.Node{Name: "p", Col: "Zip", Type: "zipcode", Sim: similarity.EDK(1)},
+		Neg:  &neg,
+		Path: []rules.PathNode{{Name: "bc", Type: "city"}},
+		Edges: []rules.Edge{
+			{From: "e1", Rel: "livesIn", To: "e2"},
+			{From: "e2", Rel: "hasZip", To: "p"},
+			{From: "e1", Rel: "bornIn", To: "bc"},
+			{From: "bc", Rel: "hasZip", To: "n"},
+		},
+	}
+	return g, schema, dr
+}
+
+func TestPathRuleValidates(t *testing.T) {
+	_, schema, dr := pathFixture()
+	if err := dr.Validate(schema); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestPathRuleRejectsBadPaths(t *testing.T) {
+	_, schema, dr := pathFixture()
+
+	dup := *dr
+	dup.Path = append([]rules.PathNode{{Name: "e1", Type: "city"}}, dr.Path...)
+	if err := dup.Validate(schema); err == nil {
+		t.Error("colliding path name: want error")
+	}
+
+	dangling := *dr
+	dangling.Path = append([]rules.PathNode{{Name: "orphan", Type: "city"}}, dr.Path...)
+	if err := dangling.Validate(schema); err == nil {
+		t.Error("dangling path node: want error")
+	}
+
+	untyped := *dr
+	untyped.Path = []rules.PathNode{{Name: "bc"}}
+	if err := untyped.Validate(schema); err == nil {
+		t.Error("untyped path node: want error")
+	}
+}
+
+func TestPathRuleDetectsAndRepairs(t *testing.T) {
+	g, schema, dr := pathFixture()
+	cat := rules.NewCatalog(g)
+	m, err := rules.NewMatcher(dr, cat, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zip = birth-city zip: detected through the path, repaired to the
+	// residence zip.
+	dirty := relation.NewTuple("Ann", "Springfield", "22222")
+	out := m.Evaluate(dirty)
+	if out.Kind != rules.Repair {
+		t.Fatalf("Kind = %v, want Repair", out.Kind)
+	}
+	if len(out.Repairs) != 1 || out.Repairs[0] != "11111" {
+		t.Fatalf("Repairs = %v, want [11111]", out.Repairs)
+	}
+
+	// Correct zip: proof positive.
+	clean := relation.NewTuple("Ann", "Springfield", "11111")
+	if out := m.Evaluate(clean); out.Kind != rules.Positive {
+		t.Fatalf("clean tuple: %v, want Positive", out.Kind)
+	}
+
+	// A random valid zip unrelated to the person: the negative path
+	// does not match, so the rule stays conservative.
+	random := relation.NewTuple("Ann", "Springfield", "33333")
+	if out := m.Evaluate(random); out.Kind != rules.NoMatch {
+		t.Fatalf("random zip: %v, want NoMatch", out.Kind)
+	}
+
+	// A typo'd zip within ED 1 normalizes via the positive side.
+	typo := relation.NewTuple("Ann", "Springfield", "11112")
+	out = m.Evaluate(typo)
+	if out.Kind != rules.Repair || out.Repairs[0] != "11111" {
+		t.Fatalf("typo zip: %+v", out)
+	}
+}
+
+func TestPathDoesNotConstrainPositiveSide(t *testing.T) {
+	// Remove Ann's bornIn fact: the negative path cannot match, but
+	// proof positive must be unaffected (the path belongs to the
+	// negative side only).
+	g := kb.New()
+	g.AddType("Ann", "person")
+	g.AddType("Springfield", "city")
+	g.AddType("11111", "zipcode")
+	g.AddTriple("Ann", "livesIn", "Springfield")
+	g.AddTriple("Springfield", "hasZip", "11111")
+
+	_, schema, dr := pathFixture()
+	cat := rules.NewCatalog(g)
+	m, err := rules.NewMatcher(dr, cat, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := relation.NewTuple("Ann", "Springfield", "11111")
+	if out := m.Evaluate(clean); out.Kind != rules.Positive {
+		t.Fatalf("positive side constrained by negative path: %v", out.Kind)
+	}
+}
+
+func TestPathRuleBasicAndFastAgree(t *testing.T) {
+	g, schema, dr := pathFixture()
+	e, err := repair.NewEngine([]*rules.DR{dr}, g, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vals := range [][]string{
+		{"Ann", "Springfield", "22222"},
+		{"Ann", "Springfield", "11111"},
+		{"Ann", "Springfield", "33333"},
+		{"Ann", "Springfield", "11112"},
+		{"Bob", "Springfield", "11111"}, // unknown person
+	} {
+		tu := relation.NewTuple(vals...)
+		b := e.BasicRepair(tu)
+		f := e.FastRepair(tu)
+		if !b.EqualMarked(f) {
+			t.Errorf("%v: basic %v != fast %v", vals, b, f)
+		}
+	}
+}
+
+func TestPathRuleTextRoundTrip(t *testing.T) {
+	g, schema, dr := pathFixture()
+	var buf bytes.Buffer
+	if err := rules.EncodeRules(&buf, []*rules.DR{dr}); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := rules.ParseRules(&buf)
+	if err != nil {
+		t.Fatalf("ParseRules: %v\n%s", err, buf.String())
+	}
+	if len(parsed) != 1 {
+		t.Fatalf("parsed %d rules", len(parsed))
+	}
+	got := parsed[0]
+	if len(got.Path) != 1 || got.Path[0] != (rules.PathNode{Name: "bc", Type: "city"}) {
+		t.Fatalf("Path = %v", got.Path)
+	}
+	if err := got.Validate(schema); err != nil {
+		t.Fatal(err)
+	}
+	// Behaviour survives the round trip.
+	cat := rules.NewCatalog(g)
+	m, err := rules.NewMatcher(got, cat, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Evaluate(relation.NewTuple("Ann", "Springfield", "22222"))
+	if out.Kind != rules.Repair || out.Repairs[0] != "11111" {
+		t.Fatalf("parsed rule outcome: %+v", out)
+	}
+}
+
+func TestPathRuleParseRejectsColumn(t *testing.T) {
+	in := "rule r {\n node a col=A type=T\n pos p col=B type=T\n path x col=C type=T\n edge a r p\n}"
+	if _, err := rules.ParseRules(bytes.NewReader([]byte(in))); err == nil {
+		t.Fatal("path node with col=: want parse error")
+	}
+}

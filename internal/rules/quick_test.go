@@ -1,0 +1,106 @@
+package rules_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"detective/internal/rules"
+	"detective/internal/similarity"
+)
+
+// randomRule generates a structurally valid random detective rule:
+// 1-3 evidence nodes in a chain, a positive and (usually) a negative
+// node attached to the first evidence node, sometimes a path node
+// between evidence and the negative pole.
+func randomRule(rng *rand.Rand, id int) *rules.DR {
+	sims := []similarity.Spec{similarity.Eq, similarity.EDK(1), similarity.EDK(2),
+		similarity.JaccardAtLeast(0.8), similarity.CosineAtLeast(0.7)}
+	cols := []string{"A", "B", "C", "D", "E"}
+	rng.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+
+	nEv := 1 + rng.Intn(3)
+	dr := &rules.DR{Name: fmt.Sprintf("rand_%d", id)}
+	for i := 0; i < nEv; i++ {
+		dr.Evidence = append(dr.Evidence, rules.Node{
+			Name: fmt.Sprintf("e%d", i),
+			Col:  cols[i],
+			Type: fmt.Sprintf("type %d", rng.Intn(9)),
+			Sim:  sims[rng.Intn(len(sims))],
+		})
+		if i > 0 {
+			dr.Edges = append(dr.Edges, rules.Edge{
+				From: fmt.Sprintf("e%d", i-1), Rel: fmt.Sprintf("rel%d", rng.Intn(7)),
+				To: fmt.Sprintf("e%d", i),
+			})
+		}
+	}
+	posCol := cols[nEv]
+	dr.Pos = rules.Node{Name: "p", Col: posCol, Type: fmt.Sprintf("ptype %d", rng.Intn(9)),
+		Sim: sims[rng.Intn(len(sims))]}
+	dr.Edges = append(dr.Edges, rules.Edge{From: "e0", Rel: "posRel", To: "p"})
+
+	if rng.Intn(4) > 0 { // usually has negative semantics
+		neg := rules.Node{Name: "n", Col: posCol, Type: fmt.Sprintf("ntype %d", rng.Intn(9)),
+			Sim: sims[rng.Intn(len(sims))]}
+		dr.Neg = &neg
+		if rng.Intn(3) == 0 { // sometimes via a path node
+			dr.Path = append(dr.Path, rules.PathNode{Name: "x", Type: "mid type"})
+			dr.Edges = append(dr.Edges,
+				rules.Edge{From: "e0", Rel: "hop1", To: "x"},
+				rules.Edge{From: "x", Rel: "hop2", To: "n"})
+		} else {
+			dr.Edges = append(dr.Edges, rules.Edge{From: "e0", Rel: "negRel", To: "n"})
+		}
+	}
+	return dr
+}
+
+// TestQuickRuleTextRoundTrip: any structurally valid rule survives
+// encode → parse with identical structure and validity.
+func TestQuickRuleTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		dr := randomRule(rng, trial)
+		if err := dr.Validate(nil); err != nil {
+			t.Fatalf("trial %d: generated rule invalid: %v\n%v", trial, err, dr)
+		}
+		var buf bytes.Buffer
+		if err := rules.EncodeRules(&buf, []*rules.DR{dr}); err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		parsed, err := rules.ParseRules(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, buf.String())
+		}
+		if len(parsed) != 1 {
+			t.Fatalf("trial %d: parsed %d rules", trial, len(parsed))
+		}
+		got := parsed[0]
+		if got.Name != dr.Name || len(got.Evidence) != len(dr.Evidence) ||
+			len(got.Edges) != len(dr.Edges) || len(got.Path) != len(dr.Path) ||
+			(got.Neg == nil) != (dr.Neg == nil) {
+			t.Fatalf("trial %d: structure changed:\n%v\nvs\n%v", trial, got, dr)
+		}
+		for i := range dr.Evidence {
+			if got.Evidence[i] != dr.Evidence[i] {
+				t.Fatalf("trial %d: evidence[%d] %v != %v", trial, i, got.Evidence[i], dr.Evidence[i])
+			}
+		}
+		if got.Pos != dr.Pos {
+			t.Fatalf("trial %d: pos %v != %v", trial, got.Pos, dr.Pos)
+		}
+		if dr.Neg != nil && *got.Neg != *dr.Neg {
+			t.Fatalf("trial %d: neg %v != %v", trial, *got.Neg, *dr.Neg)
+		}
+		for i := range dr.Edges {
+			if got.Edges[i] != dr.Edges[i] {
+				t.Fatalf("trial %d: edge[%d] %v != %v", trial, i, got.Edges[i], dr.Edges[i])
+			}
+		}
+		if err := got.Validate(nil); err != nil {
+			t.Fatalf("trial %d: parsed rule invalid: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package server exposes a loaded cleaning engine over HTTP — the
+// deployment shape a downstream user would actually run: load the KB
+// and the verified rule set once, then clean tables by POSTing CSV.
+//
+//	POST /clean          CSV in, cleaned CSV out (?marked=1 appends '+'
+//	                     to positively proven cells)
+//	POST /explain        CSV in, JSON out: per-tuple repairs, marks and
+//	                     rule applications with their KB witnesses
+//	GET  /rules          the loaded rule set in the rule text format
+//	GET  /stats          KB and rule-set statistics as JSON
+//	GET  /healthz        liveness
+//
+// The handler is safe for concurrent requests: the engine is read-only
+// after construction and is pre-warmed at server creation.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"detective/internal/kb"
+	"detective/internal/relation"
+	"detective/internal/repair"
+	"detective/internal/rules"
+)
+
+// Server handles cleaning requests for one (rules, KB, schema) triple.
+type Server struct {
+	engine *repair.Engine
+	kbase  *kb.Graph
+	rules  []*rules.DR
+	schema *relation.Schema
+	mux    *http.ServeMux
+}
+
+// New builds the server and pre-warms the engine's indexes.
+func New(drs []*rules.DR, g *kb.Graph, schema *relation.Schema) (*Server, error) {
+	e, err := repair.NewEngine(drs, g, schema)
+	if err != nil {
+		return nil, err
+	}
+	e.Warm()
+	g.Freeze()
+	s := &Server{engine: e, kbase: g, rules: drs, schema: schema, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /clean", s.handleClean)
+	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /rules", s.handleRules)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// readTable parses the request body as CSV against the server schema.
+func (s *Server) readTable(w http.ResponseWriter, r *http.Request) (*relation.Table, bool) {
+	tb, err := relation.ReadCSV(s.schema.Name, http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad CSV: %v", err), http.StatusBadRequest)
+		return nil, false
+	}
+	if tb.Schema.Arity() != s.schema.Arity() {
+		http.Error(w, fmt.Sprintf("schema mismatch: got %d columns, want %d (%v)",
+			tb.Schema.Arity(), s.schema.Arity(), s.schema.Attrs), http.StatusBadRequest)
+		return nil, false
+	}
+	for i, a := range s.schema.Attrs {
+		if tb.Schema.Attrs[i] != a {
+			http.Error(w, fmt.Sprintf("schema mismatch at column %d: got %q, want %q",
+				i, tb.Schema.Attrs[i], a), http.StatusBadRequest)
+			return nil, false
+		}
+	}
+	// Rebind to the server's schema so rule column lookups are valid.
+	tb.Schema = s.schema
+	return tb, true
+}
+
+func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
+	tb, ok := s.readTable(w, r)
+	if !ok {
+		return
+	}
+	cleaned := s.engine.RepairTableParallel(tb, 0)
+	w.Header().Set("Content-Type", "text/csv")
+	var err error
+	if r.URL.Query().Get("marked") != "" {
+		err = cleaned.WriteMarkedCSV(w)
+	} else {
+		err = cleaned.WriteCSV(w)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ExplainedTuple is the JSON shape of one cleaned row.
+type ExplainedTuple struct {
+	Row    int               `json:"row"`
+	Values []string          `json:"values"`
+	Marked []bool            `json:"marked"`
+	Steps  []ExplainedStep   `json:"steps,omitempty"`
+}
+
+// ExplainedStep is the JSON shape of one rule application.
+type ExplainedStep struct {
+	Rule         string            `json:"rule"`
+	Action       string            `json:"action"` // "positive" or "repair"
+	RepairCol    string            `json:"repairCol,omitempty"`
+	Old          string            `json:"old,omitempty"`
+	New          string            `json:"new,omitempty"`
+	Alternatives []string          `json:"alternatives,omitempty"`
+	MarkCols     []string          `json:"markCols"`
+	Witness      map[string]string `json:"witness,omitempty"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	tb, ok := s.readTable(w, r)
+	if !ok {
+		return
+	}
+	out := make([]ExplainedTuple, tb.Len())
+	for i, tu := range tb.Tuples {
+		repaired, steps := s.engine.FastRepairExplain(tu)
+		et := ExplainedTuple{Row: i, Values: repaired.Values, Marked: repaired.Marked}
+		for _, st := range steps {
+			et.Steps = append(et.Steps, ExplainedStep{
+				Rule:         st.Rule,
+				Action:       st.Kind.String(),
+				RepairCol:    st.RepairCol,
+				Old:          st.Old,
+				New:          st.New,
+				Alternatives: st.Alternatives,
+				MarkCols:     st.MarkCols,
+				Witness:      st.Witness,
+			})
+		}
+		out[i] = et
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := rules.EncodeRules(w, s.rules); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// StatsResponse is the JSON shape of GET /stats.
+type StatsResponse struct {
+	Schema []string `json:"schema"`
+	Rules  int      `json:"rules"`
+	KB     kb.Stats `json:"kb"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, StatsResponse{
+		Schema: s.schema.Attrs,
+		Rules:  len(s.rules),
+		KB:     s.kbase.ComputeStats(5),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,103 @@
+package similarity
+
+// QGramIndex is the classic alternative to the PASS-JOIN segment
+// scheme used by StringIndex: index positional q-grams and use the
+// count-filtering bound — two strings within edit distance k share at
+// least max(|s|,|q|) - q + 1 - k·q q-grams. It exists to let the
+// benchmarks compare the paper's choice of signature scheme against
+// the folklore baseline (PASS-JOIN generates far fewer candidates on
+// short, low-entropy strings); the repair engine itself always uses
+// StringIndex.
+type QGramIndex struct {
+	q        int
+	strs     []string
+	payloads []int32
+	grams    map[string][]int32 // gram -> entry indexes (deduplicated)
+	byLen    map[int][]int32    // length -> entry indexes (for vacuous-filter lengths)
+}
+
+// NewQGramIndex creates an index over q-grams (q >= 1; q = 2 or 3 are
+// the usual choices).
+func NewQGramIndex(q int) *QGramIndex {
+	if q < 1 {
+		panic("similarity: q must be positive")
+	}
+	return &QGramIndex{q: q, grams: make(map[string][]int32), byLen: make(map[int][]int32)}
+}
+
+// Len returns the number of indexed entries.
+func (ix *QGramIndex) Len() int { return len(ix.strs) }
+
+// Add indexes s with the given payload.
+func (ix *QGramIndex) Add(s string, payload int32) {
+	entry := int32(len(ix.strs))
+	ix.strs = append(ix.strs, s)
+	ix.payloads = append(ix.payloads, payload)
+	ix.byLen[len(s)] = append(ix.byLen[len(s)], entry)
+	seen := make(map[string]bool)
+	for i := 0; i+ix.q <= len(s); i++ {
+		g := s[i : i+ix.q]
+		if !seen[g] {
+			seen[g] = true
+			ix.grams[g] = append(ix.grams[g], entry)
+		}
+	}
+}
+
+// LookupED returns the payloads of entries within edit distance
+// threshold k of query, verified exactly.
+func (ix *QGramIndex) LookupED(query string, k int) []int32 {
+	// For entries of length l, the count filter requires
+	// max(l,|query|) - q + 1 - k·q shared grams. When that bound is
+	// non-positive the filter is *vacuous*: strings sharing no gram at
+	// all can still match, so those lengths must be scanned outright.
+	// This is the q-gram scheme's inherent weakness on short strings,
+	// which the PASS-JOIN segments do not share.
+	vacuousLen := ix.q - 1 + k*ix.q
+	counts := make(map[int32]int)
+	if len(query) >= ix.q {
+		seen := make(map[string]bool)
+		for i := 0; i+ix.q <= len(query); i++ {
+			g := query[i : i+ix.q]
+			if seen[g] {
+				continue
+			}
+			seen[g] = true
+			for _, e := range ix.grams[g] {
+				counts[e]++
+			}
+		}
+	}
+	var out []int32
+	emit := make(map[int32]bool)
+	consider := func(e int32) {
+		if emit[e] {
+			return
+		}
+		emit[e] = true
+		if EDWithin(ix.strs[e], query, k) {
+			out = append(out, ix.payloads[e])
+		}
+	}
+	// Lengths with a vacuous filter: scan with the length filter only.
+	for l := len(query) - k; l <= len(query)+k; l++ {
+		if l < 0 || (l > vacuousLen && len(query) > vacuousLen) {
+			continue
+		}
+		for _, e := range ix.byLen[l] {
+			consider(e)
+		}
+	}
+	for e, shared := range counts {
+		// Count filter: need max(|s|,|query|) - q + 1 - k·q shared grams.
+		need := len(ix.strs[e])
+		if len(query) > need {
+			need = len(query)
+		}
+		need = need - ix.q + 1 - k*ix.q
+		if shared >= need {
+			consider(e)
+		}
+	}
+	return out
+}
