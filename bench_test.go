@@ -127,10 +127,13 @@ func nobelEngine(b *testing.B, n int) (*dataset.Bundle, *dataset.Injected, *repa
 	return bundle, inj, e
 }
 
-// BenchmarkBRepairTuple vs BenchmarkFRepairTuple is the per-tuple view
-// of Figure 8's bRepair/fRepair gap: the basic algorithm scans class
-// extents, the fast one uses the signature indexes, rule ordering and
-// shared checks.
+// BenchmarkBRepairTuple vs BenchmarkFastRepairTuple is the per-tuple
+// view of Figure 8's bRepair/fRepair gap: the basic algorithm scans
+// class extents, the fast one uses the signature indexes, rule
+// ordering, shared checks with dense IDs, pooled per-tuple state and
+// the cross-tuple candidate cache. BenchmarkFastRepairTuple's
+// allocs/op is the number tracked across PRs in BENCH_repair.json
+// (see cmd/experiments -bench-repair).
 func BenchmarkBRepairTuple(b *testing.B) {
 	_, inj, e := nobelEngine(b, 500)
 	b.ReportAllocs()
@@ -140,7 +143,7 @@ func BenchmarkBRepairTuple(b *testing.B) {
 	}
 }
 
-func BenchmarkFRepairTuple(b *testing.B) {
+func BenchmarkFastRepairTuple(b *testing.B) {
 	_, inj, e := nobelEngine(b, 500)
 	b.ReportAllocs()
 	b.ResetTimer()

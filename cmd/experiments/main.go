@@ -14,10 +14,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"testing"
 
 	"detective/internal/dataset"
 	"detective/internal/eval"
@@ -32,7 +34,13 @@ func main() {
 	nobel := flag.Int("nobel-tuples", 0, "override Nobel tuple count")
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 	repeats := flag.Int("repeats", 0, "average each timing over this many runs (paper: 6)")
+	benchRepair := flag.String("bench-repair", "", "run the repair-engine micro-benchmarks and write the results as JSON to this file (e.g. BENCH_repair.json), then exit")
 	flag.Parse()
+
+	if *benchRepair != "" {
+		fail(writeRepairBench(*benchRepair))
+		return
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -161,6 +169,88 @@ func printTableI() {
 		fmt.Printf("r%d dirty: %v\n", i+1, tu)
 		fmt.Printf("r%d clean: %v\n", i+1, e.FastRepair(tu))
 	}
+}
+
+// benchResult is one serialized micro-benchmark measurement; the file
+// of these written by -bench-repair tracks the repair engine's perf
+// trajectory across PRs.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// writeRepairBench times the repair hot paths with testing.Benchmark
+// (the same harness `go test -bench` uses) and writes the results as
+// JSON, so CI and humans can diff engine performance across commits
+// without parsing benchmark text output.
+func writeRepairBench(path string) error {
+	// Fail on an unwritable path before spending a minute benchmarking.
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	nobel := dataset.NewNobel(1, 500)
+	nobelInj := nobel.Inject(dataset.Noise{Rate: 0.10, TypoFrac: 0.5, Seed: 1})
+	ne, err := repair.NewEngine(nobel.Rules, nobel.Yago, nobel.Schema)
+	if err != nil {
+		return err
+	}
+	ne.Warm()
+
+	uis := dataset.NewUIS(1, 1500)
+	uisInj := uis.Inject(dataset.Noise{Rate: 0.10, TypoFrac: 0.5, Seed: 1})
+	ue, err := repair.NewEngine(uis.Rules, uis.Yago, uis.Schema)
+	if err != nil {
+		return err
+	}
+	ue.Warm()
+
+	record := func(name string, r testing.BenchmarkResult) benchResult {
+		return benchResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+	}
+	results := []benchResult{
+		record("FastRepairTuple", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ne.FastRepair(nobelInj.Dirty.Tuples[i%nobelInj.Dirty.Len()])
+			}
+		})),
+		record("BasicRepairTuple", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ne.BasicRepair(nobelInj.Dirty.Tuples[i%nobelInj.Dirty.Len()])
+			}
+		})),
+		record("RepairTableParallel", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ue.RepairTableParallel(uisInj.Dirty, 0)
+			}
+		})),
+	}
+
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Benchmarks []benchResult `json:"benchmarks"`
+	}{results}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-20s %12.0f ns/op %8d B/op %6d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	return nil
 }
 
 func fail(err error) {

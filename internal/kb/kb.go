@@ -91,6 +91,7 @@ type Graph struct {
 
 	preds       map[ID]struct{}
 	tripleCount int
+	gen         int64 // content mutations; see Generation
 
 	closureDirty bool
 	instClosure  map[ID][]ID         // class -> all instances (incl. via subclasses)
@@ -133,6 +134,7 @@ func (g *Graph) intern(name string, kind Kind) ID {
 	g.names = append(g.names, name)
 	g.kinds = append(g.kinds, kind)
 	g.byName[name] = id
+	g.gen++
 	return id
 }
 
@@ -201,6 +203,13 @@ func (g *Graph) Predicates() []ID {
 // labels.
 func (g *Graph) NumPredicates() int { return len(g.preds) }
 
+// Generation counts content mutations (triples, type and subclass
+// assertions, new interned nodes). It identifies the graph's content
+// for derived-structure invalidation: once loading is done and Freeze
+// has been called, the generation is stable, so caches keyed on it
+// never go stale under the concurrent-read contract.
+func (g *Graph) Generation() int64 { return g.gen }
+
 // AddTriple records the triple (s, p, o) with o an instance. Both
 // endpoints and the predicate are interned on demand.
 func (g *Graph) AddTriple(s, p, o string) {
@@ -227,6 +236,7 @@ func (g *Graph) AddTripleID(s, p, o ID) {
 	g.po[PO{p, o}] = append(g.po[PO{p, o}], s)
 	g.preds[p] = struct{}{}
 	g.tripleCount++
+	g.gen++
 }
 
 // AddType asserts that instance inst has class cls.
@@ -244,6 +254,7 @@ func (g *Graph) AddTypeID(inst, cls ID) {
 	g.types[inst] = append(g.types[inst], cls)
 	g.instOf[cls] = append(g.instOf[cls], inst)
 	g.closureDirty = true
+	g.gen++
 }
 
 // AddSubclass asserts sub ⊆ super in the taxonomy.
@@ -261,6 +272,7 @@ func (g *Graph) AddSubclassID(sub, super ID) {
 	g.superOf[sub] = append(g.superOf[sub], super)
 	g.subOf[super] = append(g.subOf[super], sub)
 	g.closureDirty = true
+	g.gen++
 }
 
 // Objects returns all o with (s, p, o) in the graph. The returned

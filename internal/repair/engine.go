@@ -9,6 +9,7 @@ import (
 	"detective/internal/kb"
 	"detective/internal/relation"
 	"detective/internal/rules"
+	"detective/internal/similarity"
 )
 
 // Engine applies a set of consistent detective rules to tuples of one
@@ -16,6 +17,14 @@ import (
 // it is safe for concurrent use after construction as long as the KB
 // has been frozen, except that the lazy per-class signature indexes
 // are built on first use (call Warm to pre-build them).
+//
+// Every memoizable node/edge check is assigned a dense integer ID at
+// construction time, so the per-tuple hot path never hashes a string:
+// the memo is a flat tri-state array, the inverted rule indexes
+// (Figure 5) are slice-of-slice lookups, and repair-time invalidation
+// walks a precomputed column → check-ID list instead of scanning every
+// known check key. Per-tuple state is pooled, so steady-state repair
+// allocates only for the result tuple and actual rule applications.
 type Engine struct {
 	Schema *relation.Schema
 	Cat    *rules.Catalog
@@ -26,32 +35,54 @@ type Engine struct {
 	fast []*rules.Matcher // signature-index candidate retrieval
 	slow []*rules.Matcher // full-scan retrieval (Algorithm 1 cost model)
 
-	// Inverted rule indexes (the paper's Figure 5): which rules use a
-	// given node/edge check as *evidence*, so a failed shared check
-	// prunes every rule that depends on it.
-	evNodeIndex map[string][]int
-	evEdgeIndex map[string][]int
+	// numChecks is the number of distinct check IDs; dense IDs are in
+	// [0, numChecks).
+	numChecks int
 
-	// keyCols[k] lists the columns a check key reads, used to
-	// invalidate memoized checks when a repair rewrites a column.
-	keyCols map[string][]string
+	// evIndex[id] lists the rules that use check id as *evidence* —
+	// the inverted rule indexes of the paper's Figure 5, so a failed
+	// shared check prunes every rule that depends on it. Node and edge
+	// checks share the ID space (their string keys are disjoint by
+	// construction), so one index serves both.
+	evIndex [][]int
+
+	// colInval[col] lists the check IDs that read schema column col,
+	// used to invalidate memoized checks when a repair rewrites the
+	// column. Only checks that can actually enter the memo (evidence
+	// nodes/edges, positive nodes, positive-incident edges) are listed.
+	colInval [][]int32
 
 	// Per-rule pre-resolved check lists.
-	evChecks  [][]check // evidence node + edge checks per rule
-	posKey    []string  // positive-node key per rule
-	negKey    []string  // negative-node key per rule ("" if none)
-	posEdgeKs [][]string
+	evChecks   [][]check // evidence node + edge checks per rule
+	posID      []int32   // positive-node check ID per rule
+	posEdgeIDs [][]int32 // positive-incident edge check IDs per rule
+
+	// flatGroup is the single all-rules group used by the NoRuleOrder
+	// ablation, precomputed so the hot path never rebuilds it.
+	flatGroup [][]int
+
+	// pool recycles fastState values (alive + memo slices) across
+	// tuples so RepairTableParallel and CleanCSVStream run
+	// allocation-free in steady state.
+	pool sync.Pool
 }
 
-// check is one memoizable value-level test.
+// check is one memoizable value-level test, identified by its dense
+// ID. Edge checks carry no payload: they are only consulted when
+// already memoized (see fastStep).
 type check struct {
-	key    string
+	id     int32
 	node   rules.Node
-	edge   rules.Edge
-	from   rules.Node
-	to     rules.Node
 	isEdge bool
 }
+
+// Tri-state memo values: a check is unknown until computed for the
+// tuple's current values.
+const (
+	memoUnknown int8 = iota
+	memoTrue
+	memoFalse
+)
 
 // Options disables individual optimizations of the fast repair
 // algorithm, for the ablation study of the three §IV-B improvements.
@@ -81,14 +112,33 @@ func NewEngineWithOptions(drs []*rules.DR, g *kb.Graph, schema *relation.Schema,
 		return nil, fmt.Errorf("repair: empty rule set")
 	}
 	e := &Engine{
-		Schema:      schema,
-		Cat:         rules.NewCatalog(g),
-		Graph:       BuildRuleGraph(drs),
-		opts:        opts,
-		evNodeIndex: make(map[string][]int),
-		evEdgeIndex: make(map[string][]int),
-		keyCols:     make(map[string][]string),
+		Schema:   schema,
+		Cat:      rules.NewCatalog(g),
+		Graph:    BuildRuleGraph(drs),
+		opts:     opts,
+		colInval: make([][]int32, schema.Arity()),
 	}
+
+	// idOf interns a check key to a dense ID; two rules share an ID
+	// exactly when they would have shared the string key, which is the
+	// shared-computation identity of §IV-B. cols are the schema
+	// columns the check reads (registered once, on first assignment).
+	ids := make(map[string]int32)
+	idOf := func(key string, cols ...string) int32 {
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		id := int32(len(e.evIndex))
+		ids[key] = id
+		e.evIndex = append(e.evIndex, nil)
+		for _, c := range cols {
+			if ci := schema.Col(c); ci >= 0 {
+				e.colInval[ci] = append(e.colInval[ci], id)
+			}
+		}
+		return id
+	}
+
 	for i, dr := range drs {
 		fm, err := rules.NewMatcher(dr, e.Cat, schema)
 		if err != nil {
@@ -113,56 +163,70 @@ func NewEngineWithOptions(drs []*rules.DR, g *kb.Graph, schema *relation.Schema,
 
 		var evs []check
 		for _, n := range dr.Evidence {
-			k := n.Key()
-			evs = append(evs, check{key: k, node: n})
-			e.evNodeIndex[k] = append(e.evNodeIndex[k], i)
-			e.keyCols[k] = []string{n.Col}
+			id := idOf(n.Key(), n.Col)
+			evs = append(evs, check{id: id, node: n})
+			e.evIndex[id] = append(e.evIndex[id], i)
 		}
 		evSet := make(map[string]bool, len(dr.Evidence))
 		for _, n := range dr.Evidence {
 			evSet[n.Name] = true
 		}
-		var posEdgeKeys []string
+		var posEdgeIDs []int32
 		for _, ed := range dr.Edges {
 			from, to := nodeByName[ed.From], nodeByName[ed.To]
 			k := rules.EdgeKey(from, ed.Rel, to)
-			e.keyCols[k] = []string{from.Col, to.Col}
 			switch {
 			case evSet[ed.From] && evSet[ed.To]:
-				evs = append(evs, check{key: k, edge: ed, from: from, to: to, isEdge: true})
-				e.evEdgeIndex[k] = append(e.evEdgeIndex[k], i)
+				id := idOf(k, from.Col, to.Col)
+				evs = append(evs, check{id: id, isEdge: true})
+				e.evIndex[id] = append(e.evIndex[id], i)
 			case ed.From == dr.Pos.Name || ed.To == dr.Pos.Name:
-				posEdgeKeys = append(posEdgeKeys, k)
+				posEdgeIDs = append(posEdgeIDs, idOf(k, from.Col, to.Col))
 			}
 		}
 		e.evChecks = append(e.evChecks, evs)
-		e.posKey = append(e.posKey, dr.Pos.Key())
-		e.keyCols[dr.Pos.Key()] = []string{dr.Pos.Col}
-		if dr.Neg != nil {
-			e.negKey = append(e.negKey, dr.Neg.Key())
-			e.keyCols[dr.Neg.Key()] = []string{dr.Neg.Col}
-		} else {
-			e.negKey = append(e.negKey, "")
-		}
-		e.posEdgeKs = append(e.posEdgeKs, posEdgeKeys)
+		e.posID = append(e.posID, idOf(dr.Pos.Key(), dr.Pos.Col))
+		e.posEdgeIDs = append(e.posEdgeIDs, posEdgeIDs)
 	}
+	e.numChecks = len(e.evIndex)
+
+	all := make([]int, len(drs))
+	for i := range all {
+		all[i] = i
+	}
+	e.flatGroup = [][]int{all}
 	return e, nil
 }
 
 // Rules returns the engine's rule set, in construction order.
 func (e *Engine) Rules() []*rules.DR { return e.Graph.Rules }
 
-// Warm pre-builds the per-class signature indexes by issuing one
-// lookup per distinct rule node, so later timing measurements exclude
-// index construction.
+// Warm pre-builds the per-class signature indexes and seeds the
+// catalog's cross-tuple candidate cache by issuing one lookup per
+// distinct (type, sim) pair over every rule node — evidence, positive
+// and negative alike — so later timing measurements exclude index
+// construction.
 func (e *Engine) Warm() {
-	for _, m := range e.fast {
-		for _, n := range append(append([]rules.Node(nil), m.Rule.Evidence...), m.Rule.Pos) {
-			e.Cat.HasCandidate(n.Type, n.Sim, "")
-			_ = n
+	type pair struct {
+		typ string
+		sim similarity.Spec
+	}
+	seen := make(map[pair]bool)
+	warm := func(n rules.Node) {
+		p := pair{n.Type, n.Sim}
+		if seen[p] {
+			return
 		}
+		seen[p] = true
+		e.Cat.Candidates(n.Type, n.Sim, "")
+	}
+	for _, m := range e.fast {
+		for _, n := range m.Rule.Evidence {
+			warm(n)
+		}
+		warm(m.Rule.Pos)
 		if m.Rule.Neg != nil {
-			e.Cat.HasCandidate(m.Rule.Neg.Type, m.Rule.Neg.Sim, "")
+			warm(*m.Rule.Neg)
 		}
 	}
 }
@@ -266,23 +330,28 @@ func (e *Engine) FastRepair(t *relation.Tuple) *relation.Tuple {
 
 func (e *Engine) fastRepair(t *relation.Tuple, alts map[string][]string) *relation.Tuple {
 	cl := t.Clone()
-	st := &fastState{
-		alts:  alts,
-		alive: make([]bool, len(e.fast)),
-		memo:  make(map[string]bool),
-	}
-	for i := range st.alive {
-		st.alive[i] = true
-	}
+	st := e.getState()
+	st.alts = alts
+	e.runFast(cl, st)
+	e.putState(st)
+	return cl
+}
+
+// repairInPlace runs the fast algorithm directly on t, mutating it.
+// It is the zero-copy core used by the streaming cleaner.
+func (e *Engine) repairInPlace(t *relation.Tuple) {
+	st := e.getState()
+	e.runFast(t, st)
+	e.putState(st)
+}
+
+// runFast drives the grouped rule schedule of Algorithm 2 over cl.
+func (e *Engine) runFast(cl *relation.Tuple, st *fastState) {
 	groups := e.Graph.Groups
 	if e.opts.NoRuleOrder {
 		// Ablation: one flat group re-scanned to a fixpoint, as in the
 		// basic algorithm.
-		all := make([]int, len(e.fast))
-		for i := range all {
-			all[i] = i
-		}
-		groups = [][]int{all}
+		groups = e.flatGroup
 	}
 	for _, group := range groups {
 		cyclic := len(group) > 1 && (e.Graph.HasCycle() || e.opts.NoRuleOrder)
@@ -301,14 +370,40 @@ func (e *Engine) fastRepair(t *relation.Tuple, alts map[string][]string) *relati
 			}
 		}
 	}
-	return cl
 }
 
 type fastState struct {
 	alive []bool
-	memo  map[string]bool     // check key -> result for the current values
+	memo  []int8              // check ID -> tri-state result for the current values
 	alts  map[string][]string // optional multi-version recorder
 	steps *[]Step             // optional explanation recorder
+}
+
+// getState returns a reset fastState, reusing a pooled one when
+// available so the per-tuple hot path allocates nothing.
+func (e *Engine) getState() *fastState {
+	st, _ := e.pool.Get().(*fastState)
+	if st == nil {
+		st = &fastState{
+			alive: make([]bool, len(e.fast)),
+			memo:  make([]int8, e.numChecks),
+		}
+	}
+	for i := range st.alive {
+		st.alive[i] = true
+	}
+	for i := range st.memo {
+		st.memo[i] = memoUnknown
+	}
+	st.alts = nil
+	st.steps = nil
+	return st
+}
+
+func (e *Engine) putState(st *fastState) {
+	st.alts = nil
+	st.steps = nil
+	e.pool.Put(st)
 }
 
 // fastStep checks and possibly applies rule idx; it reports whether
@@ -326,8 +421,8 @@ func (e *Engine) fastStep(t *relation.Tuple, idx int, st *fastState, cyclic bool
 		goto evaluate
 	}
 	for _, c := range e.evChecks[idx] {
-		res, seen := st.memo[c.key]
-		if !seen {
+		res := st.memo[c.id]
+		if res == memoUnknown {
 			if c.isEdge {
 				// Edge checks are only consulted when already memoized:
 				// computing them eagerly duplicates the edge-driven
@@ -336,21 +431,19 @@ func (e *Engine) fastStep(t *relation.Tuple, idx int, st *fastState, cyclic bool
 				// earlier rule still prunes this one.
 				continue
 			}
-			res = m.NodeCheck(t, c.node)
-			st.memo[c.key] = res
+			if m.NodeCheck(t, c.node) {
+				res = memoTrue
+			} else {
+				res = memoFalse
+			}
+			st.memo[c.id] = res
 		}
-		if !res {
+		if res == memoFalse {
 			st.alive[idx] = false
 			if !cyclic {
 				// Prune every rule that needs this same check as
 				// evidence (Figure 5 inverted lists).
-				var dependents []int
-				if c.isEdge {
-					dependents = e.evEdgeIndex[c.key]
-				} else {
-					dependents = e.evNodeIndex[c.key]
-				}
-				for _, d := range dependents {
+				for _, d := range e.evIndex[c.id] {
 					st.alive[d] = false
 				}
 			}
@@ -377,15 +470,10 @@ evaluate:
 	if len(changed) > 0 {
 		// A rewrite invalidates every memoized check that reads a
 		// changed column...
-		changedSet := make(map[string]bool, len(changed))
 		for _, c := range changed {
-			changedSet[c] = true
-		}
-		for key, cols := range e.keyCols {
-			for _, c := range cols {
-				if changedSet[c] {
-					delete(st.memo, key)
-					break
+			if ci := e.Schema.Col(c); ci >= 0 {
+				for _, id := range e.colInval[ci] {
+					st.memo[id] = memoUnknown
 				}
 			}
 		}
@@ -395,12 +483,12 @@ evaluate:
 		// satisfies the positive node and its incident edges (Alg. 2
 		// lines 14-16).
 		for _, c := range e.evChecks[idx] {
-			st.memo[c.key] = true
+			st.memo[c.id] = memoTrue
 		}
 		if out.Kind == rules.Repair {
-			st.memo[e.posKey[idx]] = true
-			for _, k := range e.posEdgeKs[idx] {
-				st.memo[k] = true
+			st.memo[e.posID[idx]] = memoTrue
+			for _, id := range e.posEdgeIDs[idx] {
+				st.memo[id] = memoTrue
 			}
 		}
 	}

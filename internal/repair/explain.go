@@ -62,40 +62,12 @@ func (s Step) String() string {
 // applications that produced the result.
 func (e *Engine) FastRepairExplain(t *relation.Tuple) (*relation.Tuple, []Step) {
 	cl := t.Clone()
-	st := &fastState{
-		alive: make([]bool, len(e.fast)),
-		memo:  make(map[string]bool),
-		steps: &[]Step{},
-	}
-	for i := range st.alive {
-		st.alive[i] = true
-	}
-	groups := e.Graph.Groups
-	if e.opts.NoRuleOrder {
-		all := make([]int, len(e.fast))
-		for i := range all {
-			all[i] = i
-		}
-		groups = [][]int{all}
-	}
-	for _, group := range groups {
-		cyclic := len(group) > 1 && (e.Graph.HasCycle() || e.opts.NoRuleOrder)
-		for {
-			progress := false
-			for _, idx := range group {
-				if !st.alive[idx] {
-					continue
-				}
-				if e.fastStep(cl, idx, st, cyclic) {
-					progress = true
-				}
-			}
-			if !cyclic || !progress {
-				break
-			}
-		}
-	}
-	return cl, *st.steps
+	st := e.getState()
+	steps := []Step{}
+	st.steps = &steps
+	e.runFast(cl, st)
+	e.putState(st)
+	return cl, steps
 }
 
 // recordStep captures the application of rule idx with outcome out,

@@ -1,0 +1,99 @@
+package repair_test
+
+import (
+	"fmt"
+	"testing"
+
+	"detective/internal/dataset"
+	"detective/internal/relation"
+	"detective/internal/repair"
+)
+
+// parallelCases enumerates the seeded datasets the equivalence
+// property is checked over. Sizes are modest so the suite stays fast
+// under -race, but every dataset family and noise shape is covered.
+func parallelCases(t *testing.T) []struct {
+	name   string
+	engine *repair.Engine
+	dirty  *relation.Table
+} {
+	t.Helper()
+	var cases []struct {
+		name   string
+		engine *repair.Engine
+		dirty  *relation.Table
+	}
+	add := func(name string, e *repair.Engine, err error, dirty *relation.Table) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cases = append(cases, struct {
+			name   string
+			engine *repair.Engine
+			dirty  *relation.Table
+		}{name, e, dirty})
+	}
+
+	ex := dataset.NewPaperExample()
+	e, err := repair.NewEngine(ex.Rules, ex.KB, ex.Schema)
+	add("paper-example", e, err, ex.Dirty)
+
+	for _, seed := range []int64{3, 11} {
+		nb := dataset.NewNobel(seed, 150)
+		inj := nb.Inject(dataset.Noise{Rate: 0.15, TypoFrac: 0.5, Seed: seed})
+		e, err := repair.NewEngine(nb.Rules, nb.Yago, nb.Schema)
+		add(fmt.Sprintf("nobel-seed%d", seed), e, err, inj.Dirty)
+	}
+
+	uis := dataset.NewUIS(7, 250)
+	uisInj := uis.Inject(dataset.Noise{Rate: 0.12, TypoFrac: 0.3, Seed: 7})
+	e, err = repair.NewEngine(uis.Rules, uis.Yago, uis.Schema)
+	add("uis-seed7", e, err, uisInj.Dirty)
+
+	return cases
+}
+
+// TestParallelEqualsSerial is the property the data-parallel fan-out
+// relies on: RepairTableParallel(tb, k) must equal RepairTable(tb,
+// true) cell-for-cell — values and marks — for any worker count,
+// because tuples are repaired independently (§V-B). Run under -race
+// this also exercises the pooled per-tuple state and the sharded
+// candidate cache for unsynchronized sharing.
+func TestParallelEqualsSerial(t *testing.T) {
+	for _, tc := range parallelCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.engine.RepairTable(tc.dirty, true)
+			for _, workers := range []int{0, 1, 2, 5} {
+				got := tc.engine.RepairTableParallel(tc.dirty, workers)
+				if got.Len() != want.Len() {
+					t.Fatalf("workers=%d: %d tuples, want %d", workers, got.Len(), want.Len())
+				}
+				for i := range want.Tuples {
+					if !want.Tuples[i].EqualMarked(got.Tuples[i]) {
+						t.Fatalf("workers=%d tuple %d: %v, want %v",
+							workers, i, got.Tuples[i], want.Tuples[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDoesNotMutateInput guards the contract that repair
+// returns cleaned copies: the dirty table must be bit-identical after
+// a parallel run.
+func TestParallelDoesNotMutateInput(t *testing.T) {
+	nb := dataset.NewNobel(5, 100)
+	inj := nb.Inject(dataset.Noise{Rate: 0.2, TypoFrac: 0.5, Seed: 5})
+	e, err := repair.NewEngine(nb.Rules, nb.Yago, nb.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inj.Dirty.Clone()
+	e.RepairTableParallel(inj.Dirty, 4)
+	for i := range before.Tuples {
+		if !before.Tuples[i].EqualMarked(inj.Dirty.Tuples[i]) {
+			t.Fatalf("tuple %d mutated: %v, was %v", i, inj.Dirty.Tuples[i], before.Tuples[i])
+		}
+	}
+}

@@ -34,8 +34,16 @@ func (e *Engine) CleanCSVStream(r io.Reader, w io.Writer, marked bool) (int, err
 	if err := cw.Write(header); err != nil {
 		return 0, err
 	}
+	// Steady-state cleaning reuses one record, one tuple, and the
+	// engine's pooled repair state: the only per-row allocations left
+	// are the rewritten cell values themselves.
+	cr.ReuseRecord = true
 	rows := 0
 	out := make([]string, len(header))
+	tup := &relation.Tuple{
+		Values: make([]string, len(header)),
+		Marked: make([]bool, len(header)),
+	}
 	for lineno := 2; ; lineno++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -47,9 +55,13 @@ func (e *Engine) CleanCSVStream(r io.Reader, w io.Writer, marked bool) (int, err
 		if len(rec) != len(header) {
 			return rows, fmt.Errorf("repair: CSV line %d has %d fields, want %d", lineno, len(rec), len(header))
 		}
-		cleaned := e.FastRepair(relation.NewTuple(rec...))
-		for i, v := range cleaned.Values {
-			if marked && cleaned.Marked[i] {
+		copy(tup.Values, rec)
+		for i := range tup.Marked {
+			tup.Marked[i] = false
+		}
+		e.repairInPlace(tup)
+		for i, v := range tup.Values {
+			if marked && tup.Marked[i] {
 				out[i] = v + "+"
 			} else {
 				out[i] = v

@@ -1,0 +1,159 @@
+package repair_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"detective/internal/dataset"
+	"detective/internal/repair"
+)
+
+func streamEngine(t *testing.T) (*dataset.PaperExample, *repair.Engine) {
+	t.Helper()
+	ex := dataset.NewPaperExample()
+	e, err := repair.NewEngine(ex.Rules, ex.KB, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, e
+}
+
+// failWriter errors on every write, standing in for a closed pipe or
+// a full disk on the output side of the stream.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink failed") }
+
+// errReader yields some good CSV and then a read error, standing in
+// for a network stream that dies mid-transfer.
+type errReader struct {
+	data []byte
+	err  error
+	pos  int
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, r.err
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+func TestCleanCSVStreamShortRecord(t *testing.T) {
+	_, e := streamEngine(t)
+	in := "Name,DOB,Country,Prize,Institution,City\n" +
+		"Avram Hershko,1937-12-31,Hungary,Chemistry 2004,Technion,Haifa\n" +
+		"only,three,fields\n"
+	var out bytes.Buffer
+	n, err := e.CleanCSVStream(strings.NewReader(in), &out, false)
+	if err == nil {
+		t.Fatal("want error for short record")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name the offending line", err)
+	}
+	if n != 1 {
+		t.Errorf("rows cleaned before failure = %d, want 1", n)
+	}
+}
+
+func TestCleanCSVStreamLongRecord(t *testing.T) {
+	_, e := streamEngine(t)
+	in := "Name,DOB,Country,Prize,Institution,City\n" +
+		"a,b,c,d,e,f,EXTRA\n"
+	var out bytes.Buffer
+	if _, err := e.CleanCSVStream(strings.NewReader(in), &out, false); err == nil {
+		t.Fatal("want error for over-long record")
+	}
+}
+
+func TestCleanCSVStreamBadHeader(t *testing.T) {
+	_, e := streamEngine(t)
+	cases := map[string]string{
+		"empty input":    "",
+		"wrong arity":    "A,B\n1,2\n",
+		"wrong names":    "X,DOB,Country,Prize,Institution,City\na,b,c,d,e,f\n",
+		"shuffled order": "DOB,Name,Country,Prize,Institution,City\na,b,c,d,e,f\n",
+	}
+	for name, in := range cases {
+		var out bytes.Buffer
+		n, err := e.CleanCSVStream(strings.NewReader(in), &out, false)
+		if err == nil {
+			t.Errorf("%s: want error", name)
+		}
+		if n != 0 {
+			t.Errorf("%s: rows = %d, want 0", name, n)
+		}
+		if out.Len() != 0 {
+			t.Errorf("%s: wrote %d bytes despite header rejection", name, out.Len())
+		}
+	}
+}
+
+func TestCleanCSVStreamWriterError(t *testing.T) {
+	ex, e := streamEngine(t)
+	var in bytes.Buffer
+	if err := ex.Dirty.WriteCSV(&in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CleanCSVStream(&in, failWriter{}, true); err == nil {
+		t.Fatal("want error from failing writer")
+	}
+}
+
+func TestCleanCSVStreamReaderError(t *testing.T) {
+	_, e := streamEngine(t)
+	r := &errReader{
+		data: []byte("Name,DOB,Country,Prize,Institution,City\n" +
+			"Avram Hershko,1937-12-31,Hungary,Chemistry 2004,Technion,Haifa\n"),
+		err: errors.New("stream died"),
+	}
+	var out bytes.Buffer
+	n, err := e.CleanCSVStream(r, &out, false)
+	if err == nil {
+		t.Fatal("want error from failing reader")
+	}
+	if n != 1 {
+		t.Errorf("rows cleaned before failure = %d, want 1", n)
+	}
+}
+
+// TestCleanCSVStreamMatchesFastRepair pins the in-place streaming path
+// to the reference per-tuple API: every streamed row must equal
+// FastRepair of the same record, marks included.
+func TestCleanCSVStreamMatchesFastRepair(t *testing.T) {
+	ex, e := streamEngine(t)
+	var in bytes.Buffer
+	if err := ex.Dirty.WriteCSV(&in); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	n, err := e.CleanCSVStream(&in, &out, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != ex.Dirty.Len() {
+		t.Fatalf("rows = %d, want %d", n, ex.Dirty.Len())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != n+1 {
+		t.Fatalf("output has %d lines, want %d", len(lines), n+1)
+	}
+	for i, tu := range ex.Dirty.Tuples {
+		want := e.FastRepair(tu)
+		cells := strings.Split(lines[i+1], ",")
+		for j, v := range want.Values {
+			expect := v
+			if want.Marked[j] {
+				expect += "+"
+			}
+			if cells[j] != expect {
+				t.Errorf("row %d col %d: %q, want %q", i, j, cells[j], expect)
+			}
+		}
+	}
+}

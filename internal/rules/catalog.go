@@ -2,7 +2,9 @@ package rules
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"detective/internal/kb"
 	"detective/internal/similarity"
@@ -13,21 +15,136 @@ import (
 // (PASS-JOIN segments are fixed at index-build time).
 const MaxEDThreshold = 3
 
+// DefaultCandidateCacheSize is the total number of candidate lists the
+// cross-tuple cache retains before evicting (spread across its
+// shards). Real dirty tables repeat values heavily (§V's Nobel/UIS/
+// WebTables workloads), so even a modest bound absorbs most lookups.
+const DefaultCandidateCacheSize = 1 << 16
+
+// candShards is the number of cache shards; a power of two so the
+// shard pick is a mask. Sharding keeps the read-mostly cache from
+// serializing RepairTableParallel workers on one lock.
+const candShards = 64
+
+// candKey identifies one candidate retrieval: (class ID, sim spec,
+// value). Spec is a small comparable struct, so the key hashes without
+// any string assembly.
+type candKey struct {
+	cls   kb.ID
+	spec  similarity.Spec
+	value string
+}
+
+// shard picks the cache shard for the key (FNV-1a over the value,
+// folded with the class and spec).
+func (k candKey) shard() uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(k.value); i++ {
+		h ^= uint32(k.value[i])
+		h *= 16777619
+	}
+	h ^= uint32(k.cls) * 2654435761
+	h ^= uint32(k.spec.Op)<<24 ^ uint32(k.spec.K)<<16
+	h ^= uint32(math.Float64bits(k.spec.Tau) >> 32)
+	return h & (candShards - 1)
+}
+
+type candShard struct {
+	mu sync.RWMutex
+	m  map[candKey][]kb.ID
+}
+
 // Catalog answers "which KB instances of class T match value v under
 // sim?" — the instance-matching primitive of §IV-B(2). It lazily
 // builds one signature-based StringIndex per KB class, shared by all
 // rules and all tuples, so similarity matching never scans a class
 // extent.
+//
+// In front of the indexes sits a sharded, read-mostly *candidate
+// cache* keyed by (class, sim, value): the repeated values that
+// dominate real dirty tables hit the cache instead of re-running
+// q-gram/PASS-JOIN retrieval. The cache is bounded (SetCacheSize) and
+// generation-checked against the KB (kb.Graph.Generation) — the KB is
+// append-only, so a moved generation means new instances may exist,
+// and both the cache and the class indexes are dropped before the
+// next lookup. Freeze the KB after loading (kb.Graph.Freeze) and the
+// generation never moves again, making all catalog reads safe for
+// concurrent use.
 type Catalog struct {
 	KB *kb.Graph
 
 	mu  sync.RWMutex
 	idx map[kb.ID]*similarity.StringIndex
+
+	cacheCap     int // per-shard entry bound; 0 disables the cache
+	gen          atomic.Int64
+	shards       [candShards]candShard
+	hits, misses atomic.Int64
 }
 
-// NewCatalog creates a catalog over g.
+// NewCatalog creates a catalog over g with the default candidate
+// cache size.
 func NewCatalog(g *kb.Graph) *Catalog {
-	return &Catalog{KB: g, idx: make(map[kb.ID]*similarity.StringIndex)}
+	c := &Catalog{KB: g, idx: make(map[kb.ID]*similarity.StringIndex)}
+	c.cacheCap = DefaultCandidateCacheSize / candShards
+	c.gen.Store(-1)
+	return c
+}
+
+// SetCacheSize re-bounds the candidate cache to about n entries in
+// total; n <= 0 disables caching entirely. Existing entries are
+// dropped.
+func (c *Catalog) SetCacheSize(n int) {
+	if n <= 0 {
+		c.cacheCap = 0
+	} else if n < candShards {
+		c.cacheCap = 1
+	} else {
+		c.cacheCap = n / candShards
+	}
+	c.Invalidate()
+}
+
+// CacheStats reports candidate-cache hits, misses, and the current
+// number of cached lists.
+func (c *Catalog) CacheStats() (hits, misses int64, size int) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		size += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return c.hits.Load(), c.misses.Load(), size
+}
+
+// Invalidate drops the candidate cache and the per-class signature
+// indexes. Lookups rebuild both lazily. Call it after mutating the KB
+// (checkGen also does this automatically by watching the KB
+// generation).
+func (c *Catalog) Invalidate() {
+	c.mu.Lock()
+	c.idx = make(map[kb.ID]*similarity.StringIndex)
+	c.mu.Unlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = nil
+		sh.mu.Unlock()
+	}
+}
+
+// checkGen invalidates cached state when the KB has grown since the
+// last lookup. The KB is append-only and counts every content
+// mutation (kb.Graph.Generation); after loading finishes and Freeze is
+// called the generation is stable, and this is a single atomic load
+// per lookup.
+func (c *Catalog) checkGen() {
+	n := c.KB.Generation()
+	if c.gen.Load() == n {
+		return
+	}
+	c.Invalidate()
+	c.gen.Store(n)
 }
 
 // classIndex returns (building on first use) the signature index over
@@ -55,8 +172,10 @@ func (c *Catalog) classIndex(cls kb.ID) *similarity.StringIndex {
 
 // Candidates returns the instances of class typeName whose names match
 // value under spec. A type unknown to the KB yields no candidates.
-// Edit-distance specs beyond MaxEDThreshold are rejected at rule
-// validation time; reaching here with one is a programming error.
+// The returned slice may be shared with the cache and other callers —
+// treat it as read-only. Edit-distance specs beyond MaxEDThreshold are
+// rejected at rule validation time; reaching here with one is a
+// programming error.
 func (c *Catalog) Candidates(typeName string, spec similarity.Spec, value string) []kb.ID {
 	if spec.Op == similarity.OpED && spec.K > MaxEDThreshold {
 		panic(fmt.Sprintf("rules: ED threshold %d exceeds MaxEDThreshold %d", spec.K, MaxEDThreshold))
@@ -65,6 +184,44 @@ func (c *Catalog) Candidates(typeName string, spec similarity.Spec, value string
 	if cls == kb.Invalid {
 		return nil
 	}
+	if c.cacheCap == 0 {
+		return c.retrieve(cls, spec, value)
+	}
+	c.checkGen()
+	key := candKey{cls: cls, spec: spec, value: value}
+	sh := &c.shards[key.shard()]
+	sh.mu.RLock()
+	out, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return out
+	}
+	c.misses.Add(1)
+	out = c.retrieve(cls, spec, value)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[candKey][]kb.ID, c.cacheCap)
+	}
+	if len(sh.m) >= c.cacheCap {
+		// The shard is full: evict an arbitrary eighth. Map iteration
+		// order is effectively random, which is eviction enough for a
+		// cache whose working set is the table's value distribution.
+		drop := c.cacheCap/8 + 1
+		for k := range sh.m {
+			delete(sh.m, k)
+			if drop--; drop == 0 {
+				break
+			}
+		}
+	}
+	sh.m[key] = out
+	sh.mu.Unlock()
+	return out
+}
+
+// retrieve runs the underlying signature-index lookup.
+func (c *Catalog) retrieve(cls kb.ID, spec similarity.Spec, value string) []kb.ID {
 	raw := c.classIndex(cls).Lookup(spec, value)
 	if len(raw) == 0 {
 		return nil
@@ -86,7 +243,9 @@ func (c *Catalog) HasCandidate(typeName string, spec similarity.Spec, value stri
 // enumerates every instance of the class and tests the matching
 // operation directly, the O(|C|·|X|) per-node cost the paper charges
 // to the basic repair algorithm (§IV-A complexity analysis). The fast
-// repair algorithm replaces this with the signature indexes.
+// repair algorithm replaces this with the signature indexes. It is
+// deliberately uncached: it models the basic algorithm's cost, and
+// caching it would corrupt the ablation contrast.
 func (c *Catalog) CandidatesScan(typeName string, spec similarity.Spec, value string) []kb.ID {
 	cls := c.KB.Lookup(typeName)
 	if cls == kb.Invalid {

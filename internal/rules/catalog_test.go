@@ -1,0 +1,112 @@
+package rules_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"detective/internal/dataset"
+	"detective/internal/kb"
+	"detective/internal/rules"
+	"detective/internal/similarity"
+)
+
+// TestCandidateCacheHits: repeated lookups of the same (type, sim,
+// value) must be served from the cache and return the same candidate
+// list as the uncached scan.
+func TestCandidateCacheHits(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	cat := rules.NewCatalog(ex.KB)
+	specs := []similarity.Spec{similarity.Eq, similarity.EDK(2), similarity.JaccardAtLeast(0.5)}
+	values := []string{"Avram Hershko", "Hershko", "Haifa", "nope", ""}
+	for _, sp := range specs {
+		for _, v := range values {
+			first := cat.Candidates("Nobel laureates in Chemistry", sp, v)
+			again := cat.Candidates("Nobel laureates in Chemistry", sp, v)
+			if !reflect.DeepEqual(first, again) {
+				t.Fatalf("%v %q: cached result %v != first %v", sp, v, again, first)
+			}
+			want := cat.CandidatesScan("Nobel laureates in Chemistry", sp, v)
+			if !sameIDSet(first, want) {
+				t.Fatalf("%v %q: cached %v, scan %v", sp, v, first, want)
+			}
+		}
+	}
+	hits, misses, size := cat.CacheStats()
+	if hits == 0 {
+		t.Error("no cache hits recorded")
+	}
+	if misses == 0 || size == 0 {
+		t.Errorf("misses=%d size=%d, want both > 0", misses, size)
+	}
+}
+
+// TestCandidateCacheInvalidation: growing the KB after lookups must
+// not serve stale candidate lists — the generation check watches
+// kb.Graph.Generation, which moves on every mutation (including
+// type-only additions, which don't change the triple count).
+func TestCandidateCacheInvalidation(t *testing.T) {
+	g := kb.New()
+	g.AddType("Haifa", "city")
+	cat := rules.NewCatalog(g)
+
+	if got := cat.Candidates("city", similarity.Eq, "Karcag"); len(got) != 0 {
+		t.Fatalf("Candidates(Karcag) = %v before it exists", got)
+	}
+	g.AddType("Karcag", "city")
+	if got := cat.Candidates("city", similarity.Eq, "Karcag"); len(got) != 1 {
+		t.Fatalf("Candidates(Karcag) = %v after adding it (stale cache?)", got)
+	}
+}
+
+// TestCandidateCacheDisabled: SetCacheSize(0) must fall back to
+// direct index lookups with identical results.
+func TestCandidateCacheDisabled(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	cached := rules.NewCatalog(ex.KB)
+	uncached := rules.NewCatalog(ex.KB)
+	uncached.SetCacheSize(0)
+	for _, v := range []string{"Avram Hershko", "Technion", "bogus"} {
+		a := cached.Candidates("Nobel laureates in Chemistry", similarity.EDK(1), v)
+		b := uncached.Candidates("Nobel laureates in Chemistry", similarity.EDK(1), v)
+		if !sameIDSet(a, b) {
+			t.Fatalf("%q: cached %v, uncached %v", v, a, b)
+		}
+	}
+	if hits, _, size := uncached.CacheStats(); hits != 0 || size != 0 {
+		t.Errorf("disabled cache recorded hits=%d size=%d", hits, size)
+	}
+}
+
+// TestCandidateCacheBound: the cache must respect its size bound
+// under a stream of distinct keys instead of growing without limit.
+func TestCandidateCacheBound(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	cat := rules.NewCatalog(ex.KB)
+	const bound = 256
+	cat.SetCacheSize(bound)
+	for i := 0; i < 50*bound; i++ {
+		cat.Candidates("Nobel laureates in Chemistry", similarity.Eq, fmt.Sprintf("value-%d", i))
+	}
+	if _, _, size := cat.CacheStats(); size > 2*bound {
+		t.Errorf("cache size %d exceeds bound %d by more than slack", size, bound)
+	}
+}
+
+// sameIDSet compares candidate lists as sets (retrieval order differs
+// between the indexed and scanning paths).
+func sameIDSet(a, b []kb.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := make(map[kb.ID]bool, len(a))
+	for _, x := range a {
+		in[x] = true
+	}
+	for _, x := range b {
+		if !in[x] {
+			return false
+		}
+	}
+	return true
+}

@@ -305,6 +305,7 @@ type Matcher struct {
 	posIncident []Edge // edges incident to the positive node
 	negIncident []Edge // edges incident to the negative node
 	markCols    []string
+	posCol      int // schema index of Pos.Col, resolved once
 }
 
 // NewMatcher validates the rule against the schema and prepares the
@@ -333,6 +334,7 @@ func NewMatcher(rule *DR, cat *Catalog, schema *relation.Schema) (*Matcher, erro
 	m.posIncident = rule.posEdges()
 	m.negIncident = rule.negEdges()
 	m.markCols = append(rule.EvidenceCols(), rule.Pos.Col)
+	m.posCol = schema.MustCol(rule.Pos.Col)
 	return m, nil
 }
 
@@ -379,7 +381,7 @@ func (m *Matcher) evaluateEdgeDriven(t *relation.Tuple) Outcome {
 	if len(evAs) == 0 {
 		return Outcome{Kind: NoMatch}
 	}
-	value := t.Values[m.Schema.MustCol(m.Rule.Pos.Col)]
+	value := t.Values[m.posCol]
 
 	// (1) Proof positive: a positive-node instance consistent with the
 	// evidence whose name matches the cell value under sim(p).
@@ -487,7 +489,7 @@ func (m *Matcher) witness(a Assignment, extra map[string]kb.ID) map[string]strin
 func (m *Matcher) evaluateValueDriven(t *relation.Tuple) Outcome {
 	// (1) Proof positive.
 	if as := findAssignments(m.Cat, m.Schema, t, m.posNodes, m.posEdges, assignmentCap, m.Scan); len(as) > 0 {
-		value := t.Values[m.Schema.MustCol(m.Rule.Pos.Col)]
+		value := t.Values[m.posCol]
 		names := make(map[string]bool, len(as))
 		for _, a := range as {
 			names[m.Cat.KB.Name(a[m.Rule.Pos.Name])] = true
@@ -533,7 +535,7 @@ func (m *Matcher) evaluateValueDriven(t *relation.Tuple) Outcome {
 	for v := range repairSet {
 		repairs = append(repairs, v)
 	}
-	sortRepairs(t.Values[m.Schema.MustCol(m.Rule.Pos.Col)], repairs)
+	sortRepairs(t.Values[m.posCol], repairs)
 	return Outcome{Kind: Repair, MarkCols: m.markCols, RepairCol: m.Rule.Pos.Col,
 		Repairs: repairs, Canonical: m.canonicalEvidence(t, negAs)}
 }

@@ -140,10 +140,15 @@ func (ix *StringIndex) LookupED(q string, k int) []int32 {
 	if k == 0 {
 		return ix.LookupEq(q)
 	}
-	seen := make(map[int32]bool)
+	// The dedup map is allocated lazily: most queries over selective
+	// signatures touch zero or one posting list entry.
+	var seen map[int32]bool
 	var cands []int32
 	add := func(entries []int32) {
 		for _, e := range entries {
+			if seen == nil {
+				seen = make(map[int32]bool)
+			}
 			if !seen[e] {
 				seen[e] = true
 				cands = append(cands, e)
@@ -152,9 +157,14 @@ func (ix *StringIndex) LookupED(q string, k int) []int32 {
 	}
 	// Short entries: length filter then verify.
 	for _, e := range ix.short {
-		if abs(len(ix.strs[e])-len(q)) <= k && !seen[e] {
-			seen[e] = true
-			cands = append(cands, e)
+		if abs(len(ix.strs[e])-len(q)) <= k {
+			if seen == nil {
+				seen = make(map[int32]bool)
+			}
+			if !seen[e] {
+				seen[e] = true
+				cands = append(cands, e)
+			}
 		}
 	}
 	// Segment probes for every plausible indexed length.
@@ -240,10 +250,31 @@ func (ix *StringIndex) Lookup(spec Spec, q string) []int32 {
 
 // collect maps entry indexes to their payloads, deduplicating
 // payloads (the same payload may have been indexed under multiple
-// strings).
+// strings). Small result sets — the overwhelmingly common case for
+// selective lookups — dedup in place without allocating a map.
 func (ix *StringIndex) collect(entries []int32, buf []int32) []int32 {
-	if len(entries) == 0 {
+	switch len(entries) {
+	case 0:
 		return nil
+	case 1:
+		return append(buf, ix.payloads[entries[0]])
+	}
+	if len(entries) <= 16 {
+		out := buf
+		for _, e := range entries {
+			p := ix.payloads[e]
+			dup := false
+			for _, q := range out {
+				if q == p {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, p)
+			}
+		}
+		return out
 	}
 	seen := make(map[int32]bool, len(entries))
 	out := buf
