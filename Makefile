@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench experiments examples clean
+.PHONY: all build vet fmt-check test race fault bench experiments examples clean
 
-all: build vet test
+all: build vet fmt-check test
 
 build:
 	go build ./...
@@ -10,11 +10,20 @@ build:
 vet:
 	go vet ./...
 
+# Fails if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 test:
 	go test ./...
 
 race:
 	go test -race ./...
+
+# Fault-injection suite (panic quarantine, step budgets, chaotic I/O,
+# load shedding, deadlines) under the race detector.
+fault:
+	go test -race -run TestFault ./internal/repair ./internal/server
 
 bench:
 	go test -bench=. -benchmem ./...

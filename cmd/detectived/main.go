@@ -3,16 +3,25 @@
 //	detectived -kb kb.nt -rules rules.dr -schema "Name,DOB,Country,Prize,Institution,City" -addr :8080
 //
 // Endpoints (see the server package): POST /clean, POST /explain,
-// GET /rules, GET /stats, GET /healthz.
+// GET /rules, GET /stats, GET /healthz, GET /readyz.
+//
+// On SIGTERM/SIGINT the server drains gracefully: /readyz flips to
+// 503 so load balancers stop routing new work, in-flight requests get
+// -drain-timeout to finish, then the listener closes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"detective"
 	"detective/internal/server"
@@ -24,6 +33,10 @@ func main() {
 	schemaSpec := flag.String("schema", "", "comma-separated attribute names of the relation")
 	name := flag.String("name", "table", "relation name")
 	addr := flag.String("addr", ":8080", "listen address")
+	reqTimeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent cleaning requests (0 = 2×GOMAXPROCS)")
+	maxBody := flag.Int64("max-body", 64<<20, "max request body bytes")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
 	if *kbPath == "" || *rulesPath == "" || *schemaSpec == "" {
@@ -49,12 +62,47 @@ func main() {
 	}
 	schema := detective.NewSchema(*name, attrs...)
 
-	s, err := server.New(rs, g, schema)
+	s, err := server.NewWithConfig(rs, g, schema, server.Config{
+		RequestTimeout: *reqTimeout,
+		MaxConcurrent:  *maxConcurrent,
+		MaxBodyBytes:   *maxBody,
+	})
 	fail(err)
 
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		// No ReadTimeout/WriteTimeout: /clean legitimately streams
+		// large bodies; per-request work is bounded by the handler's
+		// own deadline instead.
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("detectived: %d rules over %v, KB %v; listening on %s",
 		len(rs), attrs, g, *addr)
-	log.Fatal(http.ListenAndServe(*addr, s))
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop advertising readiness, give in-flight requests a
+	// deadline, then close.
+	log.Printf("detectived: signal received, draining for up to %v", *drainTimeout)
+	s.SetReady(false)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("detectived: forced shutdown: %v", err)
+		_ = srv.Close()
+	}
+	log.Printf("detectived: drained, exiting")
 }
 
 func fail(err error) {

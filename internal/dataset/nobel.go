@@ -327,14 +327,14 @@ func NewNobel(seed int64, n int) *Bundle {
 	}
 
 	d := Dataset{
-		Name:    "Nobel",
-		Schema:  schema,
-		Truth:   truth,
+		Name:       "Nobel",
+		Schema:     schema,
+		Truth:      truth,
 		KeyAttr:    "Name",
 		ScopeByKey: true,
-		KeyType: clsLaureate,
-		Rules:   nobelRules(),
-		Pattern: nobelPattern(),
+		KeyType:    clsLaureate,
+		Rules:      nobelRules(),
+		Pattern:    nobelPattern(),
 		FDs: []llunatic.FD{
 			{LHS: []string{"Institution"}, RHS: "City"},
 			{LHS: []string{"City"}, RHS: "Country"},

@@ -278,14 +278,14 @@ func NewUIS(seed int64, n int) *Bundle {
 		truth.Append(pe.name, pe.ssn, pe.address, pe.city, w.stateOf[pe.city], w.zipOf(pe))
 	}
 	d := Dataset{
-		Name:    "UIS",
-		Schema:  schema,
-		Truth:   truth,
+		Name:       "UIS",
+		Schema:     schema,
+		Truth:      truth,
 		KeyAttr:    "Name",
 		ScopeByKey: true,
-		KeyType: clsPerson,
-		Rules:   uisRules(),
-		Pattern: uisPattern(),
+		KeyType:    clsPerson,
+		Rules:      uisRules(),
+		Pattern:    uisPattern(),
 		FDs: []llunatic.FD{
 			{LHS: []string{"Zip"}, RHS: "City"},
 			{LHS: []string{"City"}, RHS: "State"},

@@ -49,8 +49,8 @@ func TestScoreBasics(t *testing.T) {
 	wrong := map[[2]int]string{{0, 1}: "y", {1, 0}: "u"}
 
 	repaired := dirty.Clone()
-	repaired.SetCell(0, "B", "y")     // correct repair
-	repaired.SetCell(1, "B", "OOPS")  // wrong repair of a clean cell
+	repaired.SetCell(0, "B", "y")    // correct repair
+	repaired.SetCell(1, "B", "OOPS") // wrong repair of a clean cell
 
 	m := eval.Score(truth, dirty, repaired, wrong, eval.ScoreOpts{})
 	if m.Repaired != 2 || m.CorrectRepairs != 1 || m.Errors != 2 {

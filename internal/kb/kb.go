@@ -94,9 +94,9 @@ type Graph struct {
 	gen         int64 // content mutations; see Generation
 
 	closureDirty bool
-	instClosure  map[ID][]ID         // class -> all instances (incl. via subclasses)
-	typeClosure  map[ID]map[ID]bool  // instance -> all classes (incl. superclasses)
-	literalClass ID                  // interned "literal" pseudo-class
+	instClosure  map[ID][]ID        // class -> all instances (incl. via subclasses)
+	typeClosure  map[ID]map[ID]bool // instance -> all classes (incl. superclasses)
+	literalClass ID                 // interned "literal" pseudo-class
 }
 
 // LiteralClass is the reserved type name that matches any literal

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -65,6 +66,13 @@ type Engine struct {
 	// tuples so RepairTableParallel and CleanCSVStream run
 	// allocation-free in steady state.
 	pool sync.Pool
+
+	// stepBudget bounds the number of rule applications (and, in
+	// cyclic groups, rescan passes) per tuple; see Options.StepBudget.
+	stepBudget int
+
+	// stats are the lifetime fault-tolerance counters; see Stats.
+	stats statsCounters
 }
 
 // check is one memoizable value-level test, identified by its dense
@@ -97,6 +105,16 @@ type Options struct {
 	// NoIndexes replaces signature-index candidate retrieval with
 	// full class-extent scans.
 	NoIndexes bool
+
+	// StepBudget bounds the fixpoint work done on one tuple: the
+	// number of rule applications, and in cyclic rule graphs also the
+	// number of rescan passes per component. A tuple that exhausts the
+	// budget degrades to keep-original-value — the repair is discarded,
+	// the original tuple is returned unchanged, and the event is
+	// tallied in Stats.BudgetExhausted — instead of looping. 0 picks a
+	// generous default that no terminating rule set can hit (§III's
+	// termination analysis bounds applications by the rule count).
+	StepBudget int
 }
 
 // NewEngine validates the rules and builds matchers, the rule graph,
@@ -195,6 +213,15 @@ func NewEngineWithOptions(drs []*rules.DR, g *kb.Graph, schema *relation.Schema,
 		all[i] = i
 	}
 	e.flatGroup = [][]int{all}
+
+	e.stepBudget = opts.StepBudget
+	if e.stepBudget <= 0 {
+		// Each rule applies at most once per tuple (§III termination),
+		// so any terminating run fits in len(drs) applications; the
+		// default leaves ample headroom for future multi-application
+		// schedules while still catching genuine runaways.
+		e.stepBudget = 16*len(drs) + 64
+	}
 	return e, nil
 }
 
@@ -297,6 +324,7 @@ func (e *Engine) BasicRepair(t *relation.Tuple) *relation.Tuple {
 func (e *Engine) basicRepair(t *relation.Tuple, alts map[string][]string) *relation.Tuple {
 	cl := t.Clone()
 	used := make([]bool, len(e.slow))
+	applied := 0
 	for {
 		progress := false
 		for i, m := range e.slow {
@@ -307,12 +335,18 @@ func (e *Engine) basicRepair(t *relation.Tuple, alts map[string][]string) *relat
 			if !e.applicable(cl, out) {
 				continue
 			}
+			if applied++; applied > e.stepBudget {
+				// Degrade to keep-original-value rather than loop.
+				e.count(tupleBudgetExhausted, nil)
+				return t.Clone()
+			}
 			e.apply(cl, out, 0, alts)
 			used[i] = true // each rule is applied at most once (Alg. 1 line 8)
 			progress = true
 			break
 		}
 		if !progress {
+			e.count(tupleOK, nil)
 			return cl
 		}
 	}
@@ -329,24 +363,63 @@ func (e *Engine) FastRepair(t *relation.Tuple) *relation.Tuple {
 }
 
 func (e *Engine) fastRepair(t *relation.Tuple, alts map[string][]string) *relation.Tuple {
-	cl := t.Clone()
-	st := e.getState()
-	st.alts = alts
-	e.runFast(cl, st)
-	e.putState(st)
+	cl, oc := e.fastRepairOutcome(t, alts)
+	e.count(oc, nil)
 	return cl
 }
 
-// repairInPlace runs the fast algorithm directly on t, mutating it.
-// It is the zero-copy core used by the streaming cleaner.
-func (e *Engine) repairInPlace(t *relation.Tuple) {
+// fastRepairOutcome is the uncounted core of fastRepair: it returns
+// the repaired clone, or an untouched clone of the original together
+// with tupleBudgetExhausted when the step budget ran out.
+func (e *Engine) fastRepairOutcome(t *relation.Tuple, alts map[string][]string) (*relation.Tuple, tupleOutcome) {
+	cl := t.Clone()
 	st := e.getState()
-	e.runFast(t, st)
+	st.alts = alts
+	ok := e.runFast(cl, st)
 	e.putState(st)
+	if !ok {
+		// Step budget exhausted: discard the partial repair and keep
+		// the original values.
+		return t.Clone(), tupleBudgetExhausted
+	}
+	return cl, tupleOK
 }
 
-// runFast drives the grouped rule schedule of Algorithm 2 over cl.
-func (e *Engine) runFast(cl *relation.Tuple, st *fastState) {
+// repairTupleSafe is fastRepairOutcome hardened for serving: a panic
+// anywhere in the repair of this tuple — a poisoned value tripping a
+// similarity kernel, a buggy custom matcher — is caught, the tuple is
+// quarantined (returned as an untouched clone of the original), and
+// the engine keeps going. The panicking repair's pooled state is
+// deliberately abandoned rather than recycled. The outcome is tallied
+// into the engine's lifetime counters here, exactly once.
+func (e *Engine) repairTupleSafe(t *relation.Tuple) (out *relation.Tuple, oc tupleOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, oc = t.Clone(), tupleQuarantined
+			e.count(oc, nil)
+		}
+	}()
+	out, oc = e.fastRepairOutcome(t, nil)
+	e.count(oc, nil)
+	return out, oc
+}
+
+// repairInPlace runs the fast algorithm directly on t, mutating it.
+// It is the zero-copy core used by the streaming cleaner. It reports
+// whether the repair completed within the step budget; on false, t is
+// left in a partially repaired state the caller must discard.
+func (e *Engine) repairInPlace(t *relation.Tuple) bool {
+	st := e.getState()
+	ok := e.runFast(t, st)
+	e.putState(st)
+	return ok
+}
+
+// runFast drives the grouped rule schedule of Algorithm 2 over cl. It
+// reports whether the run completed within the per-tuple step budget;
+// a false return means cl holds a partial repair the caller must
+// discard in favour of the original values.
+func (e *Engine) runFast(cl *relation.Tuple, st *fastState) bool {
 	groups := e.Graph.Groups
 	if e.opts.NoRuleOrder {
 		// Ablation: one flat group re-scanned to a fixpoint, as in the
@@ -355,6 +428,7 @@ func (e *Engine) runFast(cl *relation.Tuple, st *fastState) {
 	}
 	for _, group := range groups {
 		cyclic := len(group) > 1 && (e.Graph.HasCycle() || e.opts.NoRuleOrder)
+		passes := 0
 		for {
 			progress := false
 			for _, idx := range group {
@@ -364,12 +438,22 @@ func (e *Engine) runFast(cl *relation.Tuple, st *fastState) {
 				if e.fastStep(cl, idx, st, cyclic) {
 					progress = true
 				}
+				if st.exceeded {
+					return false
+				}
 			}
 			if !cyclic || !progress {
 				break
 			}
+			// A cyclic component ("circle", §III) is re-scanned until
+			// stable; the pass budget turns a non-terminating rule
+			// interaction into a degrade event instead of a hang.
+			if passes++; passes > e.stepBudget {
+				return false
+			}
 		}
 	}
+	return true
 }
 
 type fastState struct {
@@ -377,6 +461,9 @@ type fastState struct {
 	memo  []int8              // check ID -> tri-state result for the current values
 	alts  map[string][]string // optional multi-version recorder
 	steps *[]Step             // optional explanation recorder
+
+	stepsLeft int  // remaining rule applications before degrade
+	exceeded  bool // step budget exhausted for this tuple
 }
 
 // getState returns a reset fastState, reusing a pooled one when
@@ -397,6 +484,8 @@ func (e *Engine) getState() *fastState {
 	}
 	st.alts = nil
 	st.steps = nil
+	st.stepsLeft = e.stepBudget
+	st.exceeded = false
 	return st
 }
 
@@ -457,6 +546,10 @@ evaluate:
 		if !cyclic {
 			st.alive[idx] = false
 		}
+		return false
+	}
+	if st.stepsLeft--; st.stepsLeft < 0 {
+		st.exceeded = true
 		return false
 	}
 	oldValue := ""
@@ -533,8 +626,21 @@ func (e *Engine) RepairTableWithAlternatives(tb *relation.Table, fast bool) (*re
 // over workers goroutines (0 = GOMAXPROCS). Tuples are independent —
 // "repairing one tuple is irrelevant to any other tuple" (§V-B) — so
 // this is a straight data-parallel map; the engine is warmed first so
-// workers share read-only indexes.
+// workers share read-only indexes. Tuples whose repair panics are
+// quarantined (emitted unchanged) rather than crashing the run.
 func (e *Engine) RepairTableParallel(tb *relation.Table, workers int) *relation.Table {
+	out, _, _ := e.RepairTableContext(context.Background(), tb, workers)
+	return out
+}
+
+// RepairTableContext is RepairTableParallel with cancellation and
+// per-call accounting. Workers check ctx between tuples; on
+// cancellation or deadline the run stops promptly, every not-yet-
+// repaired tuple is emitted as an unchanged clone of its input, and
+// the error is a *PartialError wrapping ctx.Err() whose Done field
+// counts the tuples actually processed. The returned Stats is the
+// per-call delta (the engine's lifetime counters advance too).
+func (e *Engine) RepairTableContext(ctx context.Context, tb *relation.Table, workers int) (*relation.Table, Stats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -544,21 +650,47 @@ func (e *Engine) RepairTableParallel(tb *relation.Table, workers int) *relation.
 	out := &relation.Table{Schema: tb.Schema, Tuples: make([]*relation.Tuple, tb.Len())}
 	var wg sync.WaitGroup
 	var next atomic.Int64
+	var repaired, quarantined, exhausted atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= tb.Len() {
 					return
 				}
-				out.Tuples[i] = e.FastRepair(tb.Tuples[i])
+				t, oc := e.repairTupleSafe(tb.Tuples[i])
+				out.Tuples[i] = t
+				switch oc {
+				case tupleOK:
+					repaired.Add(1)
+				case tupleQuarantined:
+					quarantined.Add(1)
+				case tupleBudgetExhausted:
+					exhausted.Add(1)
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	stats := Stats{
+		Repaired:        repaired.Load(),
+		Quarantined:     quarantined.Load(),
+		BudgetExhausted: exhausted.Load(),
+	}
+	done := int(stats.Repaired + stats.Quarantined + stats.BudgetExhausted)
+	if err := ctx.Err(); err != nil {
+		// Partial result: unclaimed rows pass through unchanged so the
+		// caller still gets a complete, well-formed table.
+		for i, t := range out.Tuples {
+			if t == nil {
+				out.Tuples[i] = tb.Tuples[i].Clone()
+			}
+		}
+		return out, stats, &PartialError{Done: done, Err: err}
+	}
+	return out, stats, nil
 }
 
 func (e *Engine) repairTable(tb *relation.Table, fast, trackAlts bool) (*relation.Table, map[[2]int][]string) {

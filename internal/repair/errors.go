@@ -1,0 +1,22 @@
+package repair
+
+import "fmt"
+
+// PartialError reports a repair run that was interrupted — by
+// cancellation, a deadline, or a mid-stream input/output failure —
+// after some tuples had already been processed. Everything up to Done
+// is valid output; errors.Is/As see through it to the cause.
+type PartialError struct {
+	// Done is the number of tuples fully processed (and, for the
+	// streaming APIs, flushed) before the interruption.
+	Done int
+	// Err is the underlying cause: a context error, a CSV parse
+	// error, or a sink write error.
+	Err error
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("repair: interrupted after %d tuples: %v", e.Done, e.Err)
+}
+
+func (e *PartialError) Unwrap() error { return e.Err }

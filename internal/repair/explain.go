@@ -65,9 +65,30 @@ func (e *Engine) FastRepairExplain(t *relation.Tuple) (*relation.Tuple, []Step) 
 	st := e.getState()
 	steps := []Step{}
 	st.steps = &steps
-	e.runFast(cl, st)
+	ok := e.runFast(cl, st)
 	e.putState(st)
+	if !ok {
+		// Step budget exhausted: keep the original values; the partial
+		// step trace would describe a repair that was discarded.
+		e.count(tupleBudgetExhausted, nil)
+		return t.Clone(), nil
+	}
+	e.count(tupleOK, nil)
 	return cl, steps
+}
+
+// FastRepairExplainSafe is FastRepairExplain under the per-tuple
+// panic quarantine: a repair that panics yields the original tuple,
+// no steps, and quarantined=true, tallied in Stats.Quarantined.
+func (e *Engine) FastRepairExplainSafe(t *relation.Tuple) (out *relation.Tuple, steps []Step, quarantined bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, steps, quarantined = t.Clone(), nil, true
+			e.count(tupleQuarantined, nil)
+		}
+	}()
+	out, steps = e.FastRepairExplain(t)
+	return out, steps, false
 }
 
 // recordStep captures the application of rule idx with outcome out,

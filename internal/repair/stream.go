@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -8,58 +9,115 @@ import (
 	"detective/internal/relation"
 )
 
+// flushEvery is how many cleaned rows the streaming cleaner buffers
+// before forcing the csv.Writer through to the sink. Keeping it small
+// bounds both memory and the staleness of partial output: whatever was
+// cleaned before a mid-stream failure has already been flushed.
+const flushEvery = 64
+
+// StreamResult is the per-call accounting of one streaming clean.
+type StreamResult struct {
+	// Rows is the number of rows written to the sink (cleaned,
+	// quarantined and degraded rows alike).
+	Rows int
+	// Quarantined counts rows whose repair panicked and were emitted
+	// unchanged.
+	Quarantined int
+	// BudgetExhausted counts rows that exceeded the fixpoint step
+	// budget and were emitted unchanged.
+	BudgetExhausted int
+}
+
 // CleanCSVStream cleans CSV row by row without materializing the
 // table — the shape needed for inputs larger than memory (the paper's
 // engine is embarrassingly per-tuple, §V-B). The first record must be
 // a header matching the engine's schema. Marked cells get a "+"
 // suffix when marked is true. It returns the number of rows cleaned.
 func (e *Engine) CleanCSVStream(r io.Reader, w io.Writer, marked bool) (int, error) {
+	res, err := e.CleanCSVStreamContext(context.Background(), r, w, marked)
+	return res.Rows, err
+}
+
+// CleanCSVStreamContext is CleanCSVStream with cancellation, panic
+// quarantine, and per-call accounting. Between rows it checks ctx and
+// stops promptly when the context is done. Any mid-stream failure —
+// cancellation, a CSV parse error, a read error, a sink write error —
+// returns a *PartialError whose Done field equals Rows: every row
+// cleaned before the failure has already been flushed to w. Header
+// validation errors are returned plain (nothing was written). A row
+// whose repair panics or exhausts the step budget is emitted
+// unchanged and tallied, not treated as a failure.
+func (e *Engine) CleanCSVStreamContext(ctx context.Context, r io.Reader, w io.Writer, marked bool) (StreamResult, error) {
+	var res StreamResult
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
-		return 0, fmt.Errorf("repair: reading CSV header: %w", err)
+		return res, fmt.Errorf("repair: reading CSV header: %w", err)
 	}
 	if len(header) != e.Schema.Arity() {
-		return 0, fmt.Errorf("repair: CSV has %d columns, schema %q has %d",
+		return res, fmt.Errorf("repair: CSV has %d columns, schema %q has %d",
 			len(header), e.Schema.Name, e.Schema.Arity())
 	}
 	for i, a := range e.Schema.Attrs {
 		if header[i] != a {
-			return 0, fmt.Errorf("repair: CSV column %d is %q, schema expects %q", i, header[i], a)
+			return res, fmt.Errorf("repair: CSV column %d is %q, schema expects %q", i, header[i], a)
 		}
 	}
 
 	cw := csv.NewWriter(w)
 	if err := cw.Write(header); err != nil {
-		return 0, err
+		return res, err
+	}
+	// partial wraps a mid-stream failure: everything written so far is
+	// pushed through to the sink first, so the error's Done count is
+	// also the number of rows the consumer actually received.
+	partial := func(err error) (StreamResult, error) {
+		cw.Flush()
+		return res, &PartialError{Done: res.Rows, Err: err}
 	}
 	// Steady-state cleaning reuses one record, one tuple, and the
 	// engine's pooled repair state: the only per-row allocations left
 	// are the rewritten cell values themselves.
 	cr.ReuseRecord = true
-	rows := 0
 	out := make([]string, len(header))
 	tup := &relation.Tuple{
 		Values: make([]string, len(header)),
 		Marked: make([]bool, len(header)),
 	}
 	for lineno := 2; ; lineno++ {
+		if err := ctx.Err(); err != nil {
+			return partial(err)
+		}
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return rows, fmt.Errorf("repair: reading CSV: %w", err)
+			return partial(fmt.Errorf("repair: reading CSV: %w", err))
 		}
 		if len(rec) != len(header) {
-			return rows, fmt.Errorf("repair: CSV line %d has %d fields, want %d", lineno, len(rec), len(header))
+			return partial(fmt.Errorf("repair: CSV line %d has %d fields, want %d", lineno, len(rec), len(header)))
 		}
 		copy(tup.Values, rec)
 		for i := range tup.Marked {
 			tup.Marked[i] = false
 		}
-		e.repairInPlace(tup)
+		oc := e.repairRowSafe(tup)
+		switch oc {
+		case tupleQuarantined, tupleBudgetExhausted:
+			// Keep-original-value: the half-repaired tuple state is
+			// discarded in favour of the raw record.
+			copy(tup.Values, rec)
+			for i := range tup.Marked {
+				tup.Marked[i] = false
+			}
+			if oc == tupleQuarantined {
+				res.Quarantined++
+			} else {
+				res.BudgetExhausted++
+			}
+		}
 		for i, v := range tup.Values {
 			if marked && tup.Marked[i] {
 				out[i] = v + "+"
@@ -68,10 +126,33 @@ func (e *Engine) CleanCSVStream(r io.Reader, w io.Writer, marked bool) (int, err
 			}
 		}
 		if err := cw.Write(out); err != nil {
-			return rows, err
+			return partial(err)
 		}
-		rows++
+		res.Rows++
+		if res.Rows%flushEvery == 0 {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return partial(err)
+			}
+		}
 	}
 	cw.Flush()
-	return rows, cw.Error()
+	return res, cw.Error()
+}
+
+// repairRowSafe runs the in-place repair under a panic quarantine and
+// tallies the outcome into the engine's lifetime counters. On a
+// non-OK outcome tup is left in an undefined state; the caller
+// restores the original record.
+func (e *Engine) repairRowSafe(tup *relation.Tuple) (oc tupleOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			oc = tupleQuarantined
+		}
+		e.count(oc, nil)
+	}()
+	if !e.repairInPlace(tup) {
+		return tupleBudgetExhausted
+	}
+	return tupleOK
 }

@@ -88,7 +88,7 @@ func TestGeneratePaperLikeRules(t *testing.T) {
 			"Roald Hoffmann": "Zolochiv", "Melvin Calvin": "St. Paul",
 		}),
 		"Prize": negativesFor(ex, "Prize", map[string]string{
-			"Avram Hershko": "Albert Lasker Award for Medicine",
+			"Avram Hershko":  "Albert Lasker Award for Medicine",
 			"Roald Hoffmann": "National Medal of Science",
 		}),
 		"Country": negativesFor(ex, "Country", map[string]string{
@@ -259,8 +259,8 @@ func TestRankOrdersRulesByTrustworthiness(t *testing.T) {
 		Neg: &badNeg,
 		Edges: []rules.Edge{
 			{From: "e1", Rel: "worksAt", To: "e2"},
-			{From: "e1", Rel: "wasBornIn", To: "p"},      // positive = born in (wrong!)
-			{From: "e2", Rel: "locatedIn", To: "n"},      // negative = institution city
+			{From: "e1", Rel: "wasBornIn", To: "p"}, // positive = born in (wrong!)
+			{From: "e2", Rel: "locatedIn", To: "n"}, // negative = institution city
 		},
 	}
 

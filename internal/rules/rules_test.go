@@ -63,13 +63,13 @@ func TestValidateRejectsBadRules(t *testing.T) {
 		{"disconnected", &rules.DR{Name: "x", Evidence: []rules.Node{a}, Pos: pos}},
 		{"unknown column", &rules.DR{Name: "x",
 			Evidence: []rules.Node{{Name: "a", Col: "Z", Type: "ta", Sim: similarity.Eq}}, Pos: pos,
-			Edges:    []rules.Edge{{From: "a", Rel: "r", To: "p"}}}},
+			Edges: []rules.Edge{{From: "a", Rel: "r", To: "p"}}}},
 		{"evidence reuses pos column", &rules.DR{Name: "x",
 			Evidence: []rules.Node{{Name: "a", Col: "B", Type: "ta", Sim: similarity.Eq}}, Pos: pos,
-			Edges:    []rules.Edge{{From: "a", Rel: "r", To: "p"}}}},
+			Edges: []rules.Edge{{From: "a", Rel: "r", To: "p"}}}},
 		{"duplicate node names", &rules.DR{Name: "x",
 			Evidence: []rules.Node{a, {Name: "a", Col: "B", Type: "t", Sim: similarity.Eq}}, Pos: pos,
-			Edges:    []rules.Edge{{From: "a", Rel: "r", To: "p"}}}},
+			Edges: []rules.Edge{{From: "a", Rel: "r", To: "p"}}}},
 	}
 	for _, c := range cases {
 		if err := c.dr.Validate(schema); err == nil {
@@ -355,17 +355,17 @@ func TestRuleTextRoundTrip(t *testing.T) {
 
 func TestParseRulesErrors(t *testing.T) {
 	cases := []string{
-		"node a col=A type=T",                        // outside rule
-		"rule r {",                                   // unclosed
-		"rule r {\n}",                                // no pos
-		"rule r {\nrule q {",                         // nested
-		"}",                                          // unmatched
+		"node a col=A type=T", // outside rule
+		"rule r {",            // unclosed
+		"rule r {\n}",         // no pos
+		"rule r {\nrule q {",  // nested
+		"}",                   // unmatched
 		"rule r {\n pos p col=A type=T\n pos q col=A type=T\n}", // dup pos
-		"rule r {\n bogus\n}",                        // unknown directive
-		"rule r {\n node a col=A\n pos p col=B type=T\n}",       // missing type
+		"rule r {\n bogus\n}",                                             // unknown directive
+		"rule r {\n node a col=A\n pos p col=B type=T\n}",                 // missing type
 		"rule r {\n node a col=A type=T sim=XX,1\n pos p col=B type=T\n}", // bad sim
-		"rule r {\n edge a b\n}",                     // short edge
-		`rule r {` + "\n" + ` node a col="A type=T` + "\n}", // unterminated quote
+		"rule r {\n edge a b\n}",                                          // short edge
+		`rule r {` + "\n" + ` node a col="A type=T` + "\n}",               // unterminated quote
 	}
 	for _, c := range cases {
 		if _, err := rules.ParseRules(strings.NewReader(c)); err == nil {

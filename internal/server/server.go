@@ -2,28 +2,78 @@
 // deployment shape a downstream user would actually run: load the KB
 // and the verified rule set once, then clean tables by POSTing CSV.
 //
-//	POST /clean          CSV in, cleaned CSV out (?marked=1 appends '+'
-//	                     to positively proven cells)
+//	POST /clean          CSV in, cleaned CSV out, streamed row by row
+//	                     (?marked=1 appends '+' to positively proven
+//	                     cells); per-request stats arrive as trailers
 //	POST /explain        CSV in, JSON out: per-tuple repairs, marks and
 //	                     rule applications with their KB witnesses
 //	GET  /rules          the loaded rule set in the rule text format
-//	GET  /stats          KB and rule-set statistics as JSON
-//	GET  /healthz        liveness
+//	GET  /stats          KB, rule-set and engine statistics as JSON
+//	GET  /healthz        liveness (the process is up)
+//	GET  /readyz         readiness (warmed and not draining)
 //
 // The handler is safe for concurrent requests: the engine is read-only
-// after construction and is pre-warmed at server creation.
+// after construction and is pre-warmed at server creation. Requests
+// run under a per-request deadline, cleaning endpoints behind a
+// concurrency limit that sheds overload with 429 + Retry-After, and
+// every per-tuple failure (panic, step-budget exhaustion) is
+// quarantined by the engine instead of failing the request. Errors are
+// JSON envelopes: {"error":{"status":...,"message":...}}.
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	"detective/internal/kb"
 	"detective/internal/relation"
 	"detective/internal/repair"
 	"detective/internal/rules"
 )
+
+// Trailer names carrying per-request cleaning stats on POST /clean.
+const (
+	TrailerRows            = "X-Clean-Rows"
+	TrailerQuarantined     = "X-Clean-Quarantined"
+	TrailerBudgetExhausted = "X-Clean-Budget-Exhausted"
+)
+
+// Config tunes the server's fault-tolerance envelope. The zero value
+// picks production defaults.
+type Config struct {
+	// RequestTimeout is the per-request deadline. /clean enforces it
+	// through the request context (checked between streamed rows);
+	// buffered endpoints sit behind http.TimeoutHandler. Default 30s.
+	RequestTimeout time.Duration
+	// MaxConcurrent bounds concurrently served cleaning requests
+	// (/clean and /explain); excess load is shed with 429 and a
+	// Retry-After header. Default 2×GOMAXPROCS.
+	MaxConcurrent int
+	// MaxBodyBytes caps the request body; larger bodies get 413.
+	// Default 64 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
 
 // Server handles cleaning requests for one (rules, KB, schema) triple.
 type Server struct {
@@ -32,47 +82,124 @@ type Server struct {
 	rules  []*rules.DR
 	schema *relation.Schema
 	mux    *http.ServeMux
+	cfg    Config
+	sem    chan struct{} // cleaning-concurrency semaphore
+	ready  atomic.Bool   // readiness: warmed and not draining
 }
 
-// New builds the server and pre-warms the engine's indexes.
+// New builds the server with default Config and pre-warms the
+// engine's indexes.
 func New(drs []*rules.DR, g *kb.Graph, schema *relation.Schema) (*Server, error) {
+	return NewWithConfig(drs, g, schema, Config{})
+}
+
+// NewWithConfig is New with explicit fault-tolerance settings.
+func NewWithConfig(drs []*rules.DR, g *kb.Graph, schema *relation.Schema, cfg Config) (*Server, error) {
 	e, err := repair.NewEngine(drs, g, schema)
 	if err != nil {
 		return nil, err
 	}
 	e.Warm()
 	g.Freeze()
-	s := &Server{engine: e, kbase: g, rules: drs, schema: schema, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /clean", s.handleClean)
-	s.mux.HandleFunc("POST /explain", s.handleExplain)
-	s.mux.HandleFunc("GET /rules", s.handleRules)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	cfg = cfg.withDefaults()
+	s := &Server{
+		engine: e,
+		kbase:  g,
+		rules:  drs,
+		schema: schema,
+		mux:    http.NewServeMux(),
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+	}
+	// /clean streams its response, so it cannot sit behind
+	// http.TimeoutHandler (which buffers the whole body to be able to
+	// replace it); its deadline is enforced through the request
+	// context instead, checked between rows.
+	s.mux.Handle("POST /clean", s.limit(http.HandlerFunc(s.handleClean)))
+	s.mux.Handle("POST /explain", s.limit(s.timeout(http.HandlerFunc(s.handleExplain))))
+	s.mux.Handle("GET /rules", s.timeout(http.HandlerFunc(s.handleRules)))
+	s.mux.Handle("GET /stats", s.timeout(http.HandlerFunc(s.handleStats)))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.ready.Store(true)
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// SetReady flips the /readyz answer. A draining process (SIGTERM
+// received, connections still completing) sets it to false so load
+// balancers stop routing new work while /healthz stays green.
+func (s *Server) SetReady(v bool) { s.ready.Store(v) }
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+// limit sheds load beyond the configured concurrency: requests that
+// would exceed it are rejected immediately with 429 + Retry-After
+// instead of queueing behind work the client may no longer want.
+func (s *Server) limit(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			h.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				"server at capacity (%d concurrent cleaning requests)", cap(s.sem))
+		}
+	})
+}
+
+// timeout wraps buffered handlers in http.TimeoutHandler so a wedged
+// request cannot hold its connection past the deadline.
+func (s *Server) timeout(h http.Handler) http.Handler {
+	body, _ := json.Marshal(errorEnvelope{errorBody{
+		Status:  http.StatusServiceUnavailable,
+		Message: "request deadline exceeded",
+	}})
+	return http.TimeoutHandler(h, s.cfg.RequestTimeout, string(body))
+}
+
+// requestContext applies the per-request deadline to streaming
+// handlers, which enforce it between rows.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
 // readTable parses the request body as CSV against the server schema.
 func (s *Server) readTable(w http.ResponseWriter, r *http.Request) (*relation.Table, bool) {
-	tb, err := relation.ReadCSV(s.schema.Name, http.MaxBytesReader(w, r.Body, 64<<20))
+	tb, err := relation.ReadCSV(s.schema.Name, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
-		http.Error(w, fmt.Sprintf("bad CSV: %v", err), http.StatusBadRequest)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return nil, false
+		}
+		writeError(w, http.StatusBadRequest, "bad CSV: %v", err)
 		return nil, false
 	}
 	if tb.Schema.Arity() != s.schema.Arity() {
-		http.Error(w, fmt.Sprintf("schema mismatch: got %d columns, want %d (%v)",
-			tb.Schema.Arity(), s.schema.Arity(), s.schema.Attrs), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "schema mismatch: got %d columns, want %d (%v)",
+			tb.Schema.Arity(), s.schema.Arity(), s.schema.Attrs)
 		return nil, false
 	}
 	for i, a := range s.schema.Attrs {
 		if tb.Schema.Attrs[i] != a {
-			http.Error(w, fmt.Sprintf("schema mismatch at column %d: got %q, want %q",
-				i, tb.Schema.Attrs[i], a), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "schema mismatch at column %d: got %q, want %q",
+				i, tb.Schema.Attrs[i], a)
 			return nil, false
 		}
 	}
@@ -81,30 +208,130 @@ func (s *Server) readTable(w http.ResponseWriter, r *http.Request) (*relation.Ta
 	return tb, true
 }
 
+// streamHoldback is how much cleaned CSV the response holds back
+// before committing the 200: a failure within the first window still
+// gets a real status code and JSON error envelope, while anything
+// larger streams through with bounded memory.
+const streamHoldback = 4 << 10
+
+// streamWriter adapts the ResponseWriter for the streaming cleaner.
+// Output is buffered until streamHoldback bytes have accumulated;
+// beyond that the response is committed — Content-Type set, 200 sent
+// — and every further write is flushed straight through to the client
+// so partial results are delivered, and server memory stays bounded,
+// regardless of input size. Until commit, the handler keeps full
+// control of the status line.
+type streamWriter struct {
+	w         http.ResponseWriter
+	rc        *http.ResponseController
+	hold      bytes.Buffer
+	committed bool
+}
+
+func (sw *streamWriter) Write(p []byte) (int, error) {
+	if !sw.committed {
+		sw.hold.Write(p)
+		if sw.hold.Len() < streamHoldback {
+			return len(p), nil
+		}
+		if err := sw.commit(); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	n, err := sw.w.Write(p)
+	if err == nil {
+		// Best effort: not every ResponseWriter can flush.
+		_ = sw.rc.Flush()
+	}
+	return n, err
+}
+
+// commit sends the 200, drains the holdback buffer to the client and
+// switches to pass-through mode.
+func (sw *streamWriter) commit() error {
+	if sw.committed {
+		return nil
+	}
+	sw.committed = true
+	sw.w.Header().Set("Content-Type", "text/csv")
+	sw.w.WriteHeader(http.StatusOK)
+	if sw.hold.Len() > 0 {
+		if _, err := sw.w.Write(sw.hold.Bytes()); err != nil {
+			return err
+		}
+		sw.hold.Reset()
+	}
+	_ = sw.rc.Flush()
+	return nil
+}
+
 func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
-	tb, ok := s.readTable(w, r)
-	if !ok {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	marked := r.URL.Query().Get("marked") != ""
+
+	// Trailers must be declared before the body starts; they carry the
+	// per-request stats that are only known once the stream ends.
+	w.Header().Set("Trailer", TrailerRows+", "+TrailerQuarantined+", "+TrailerBudgetExhausted)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	rc := http.NewResponseController(w)
+	// /clean interleaves reads of the request body with response
+	// writes; on HTTP/1 Go otherwise stops reading the body at the
+	// first response write, truncating large uploads mid-stream.
+	// Best effort: transports that cannot do full duplex still work
+	// for bodies that fit their buffers.
+	_ = rc.EnableFullDuplex()
+	sw := &streamWriter{w: w, rc: rc}
+
+	res, err := s.engine.CleanCSVStreamContext(ctx, body, sw, marked)
+	// Trailer values may only be set once the status line is out;
+	// setting them earlier would emit them as plain headers too.
+	setTrailers := func() {
+		w.Header().Set(TrailerRows, strconv.Itoa(res.Rows))
+		w.Header().Set(TrailerQuarantined, strconv.Itoa(res.Quarantined))
+		w.Header().Set(TrailerBudgetExhausted, strconv.Itoa(res.BudgetExhausted))
+	}
+	if err == nil {
+		// Success: commit whatever is still held back (a small or even
+		// zero-row result fits entirely in the holdback window).
+		_ = sw.commit()
+		setTrailers()
 		return
 	}
-	cleaned := s.engine.RepairTableParallel(tb, 0)
-	w.Header().Set("Content-Type", "text/csv")
-	var err error
-	if r.URL.Query().Get("marked") != "" {
-		err = cleaned.WriteMarkedCSV(w)
-	} else {
-		err = cleaned.WriteCSV(w)
+	if sw.committed {
+		setTrailers()
+		// Mid-stream failure: the 200 and a partial body are already
+		// on the wire. The stream has flushed everything cleaned so
+		// far (the trailers say how much); terminating the body is all
+		// that is left to do.
+		return
 	}
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	switch {
+	case errors.Is(err, context.Canceled):
+		// Client went away; nobody is listening for a status.
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded")
+	default:
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad CSV: %v", err)
 	}
 }
 
 // ExplainedTuple is the JSON shape of one cleaned row.
 type ExplainedTuple struct {
-	Row    int               `json:"row"`
-	Values []string          `json:"values"`
-	Marked []bool            `json:"marked"`
-	Steps  []ExplainedStep   `json:"steps,omitempty"`
+	Row    int             `json:"row"`
+	Values []string        `json:"values"`
+	Marked []bool          `json:"marked"`
+	Steps  []ExplainedStep `json:"steps,omitempty"`
+	// Quarantined marks a row whose repair panicked; its original
+	// values are returned unchanged.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // ExplainedStep is the JSON shape of one rule application.
@@ -124,10 +351,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	out := make([]ExplainedTuple, tb.Len())
+	ctx := r.Context()
+	out := make([]ExplainedTuple, 0, tb.Len())
 	for i, tu := range tb.Tuples {
-		repaired, steps := s.engine.FastRepairExplain(tu)
-		et := ExplainedTuple{Row: i, Values: repaired.Values, Marked: repaired.Marked}
+		if ctx.Err() != nil {
+			// http.TimeoutHandler has already answered; stop working.
+			return
+		}
+		repaired, steps, quarantined := s.engine.FastRepairExplainSafe(tu)
+		et := ExplainedTuple{Row: i, Values: repaired.Values, Marked: repaired.Marked, Quarantined: quarantined}
 		for _, st := range steps {
 			et.Steps = append(et.Steps, ExplainedStep{
 				Rule:         st.Rule,
@@ -140,23 +372,27 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 				Witness:      st.Witness,
 			})
 		}
-		out[i] = et
+		out = append(out, et)
 	}
 	writeJSON(w, out)
 }
 
 func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if err := rules.EncodeRules(w, s.rules); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	var buf bytes.Buffer
+	if err := rules.EncodeRules(&buf, s.rules); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
 	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
 }
 
 // StatsResponse is the JSON shape of GET /stats.
 type StatsResponse struct {
-	Schema []string `json:"schema"`
-	Rules  int      `json:"rules"`
-	KB     kb.Stats `json:"kb"`
+	Schema []string     `json:"schema"`
+	Rules  int          `json:"rules"`
+	KB     kb.Stats     `json:"kb"`
+	Repair repair.Stats `json:"repair"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -164,14 +400,43 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Schema: s.schema.Attrs,
 		Rules:  len(s.rules),
 		KB:     s.kbase.ComputeStats(5),
+		Repair: s.engine.Stats(),
 	})
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// errorEnvelope is the structured JSON error body of every non-2xx
+// response the server originates.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+// writeError emits a JSON error envelope with the given status.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	body, err := json.Marshal(errorEnvelope{errorBody{Status: status, Message: fmt.Sprintf(format, args...)}})
+	if err != nil {
+		http.Error(w, http.StatusText(status), status)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// writeJSON encodes v to a buffer first, so an encoding failure can
+// still become a real 500 instead of a truncated 200.
+func writeJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
 }

@@ -50,7 +50,12 @@ func TestCleanEndpoint(t *testing.T) {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
 	var body strings.Builder
-	if _, err := func() (int64, error) { b := make([]byte, 64<<10); n, _ := resp.Body.Read(b); body.Write(b[:n]); return int64(n), nil }(); err != nil {
+	if _, err := func() (int64, error) {
+		b := make([]byte, 64<<10)
+		n, _ := resp.Body.Read(b)
+		body.Write(b[:n])
+		return int64(n), nil
+	}(); err != nil {
 		t.Fatal(err)
 	}
 	out := body.String()

@@ -1,0 +1,37 @@
+package similarity
+
+import "sync/atomic"
+
+// MatchHook observes every similarity evaluation: q is the query
+// string (typically a tuple cell value) being matched or looked up.
+// Hooks exist for fault injection in tests — a hook that panics on a
+// trigger value simulates a poisoned row deep inside the matching
+// kernels — and must be cheap: they run on the repair hot path.
+type MatchHook func(q string)
+
+// matchHook is read on every Spec.Match / StringIndex.Lookup; an
+// atomic pointer keeps installation race-free under -race while
+// costing a single relaxed load when no hook is installed.
+var matchHook atomic.Pointer[MatchHook]
+
+// SetMatchHook installs h as the process-wide match hook; nil removes
+// it. It returns the previous hook so tests can restore it.
+func SetMatchHook(h MatchHook) MatchHook {
+	var prev *MatchHook
+	if h == nil {
+		prev = matchHook.Swap(nil)
+	} else {
+		prev = matchHook.Swap(&h)
+	}
+	if prev == nil {
+		return nil
+	}
+	return *prev
+}
+
+// fireHook invokes the installed hook, if any, with the query string.
+func fireHook(q string) {
+	if h := matchHook.Load(); h != nil {
+		(*h)(q)
+	}
+}

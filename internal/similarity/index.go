@@ -234,6 +234,7 @@ func (ix *StringIndex) lookupToken(q string, accept func(string) bool) []int32 {
 
 // Lookup dispatches on the spec.
 func (ix *StringIndex) Lookup(spec Spec, q string) []int32 {
+	fireHook(q)
 	switch spec.Op {
 	case OpEq:
 		return ix.LookupEq(q)
