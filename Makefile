@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet fmt-check test race fault bench experiments examples clean
+.PHONY: all build vet fmt-check test race fault bench bench-smoke metrics-check experiments examples clean
 
 all: build vet fmt-check test
 
@@ -27,6 +27,18 @@ fault:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# One iteration of every benchmark in the module: catches benchmarks
+# that no longer compile or panic without paying for real measurement.
+bench-smoke:
+	go test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Drives real traffic through an httptest server, scrapes the registry
+# the way the `-ops-addr` listener does, and validates the Prometheus
+# exposition parses and carries the expected series.
+metrics-check:
+	go test -run 'TestMetricsExposition' -count=1 -v ./internal/server
+	go test -run 'TestOpsMux|TestExpositionRoundTrip|TestValidateExpositionRejectsGarbage' -count=1 ./internal/telemetry
 
 # Regenerate every table and figure of the paper (reduced scale).
 experiments:

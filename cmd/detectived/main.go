@@ -1,13 +1,23 @@
 // Command detectived serves a loaded cleaning engine over HTTP:
 //
-//	detectived -kb kb.nt -rules rules.dr -schema "Name,DOB,Country,Prize,Institution,City" -addr :8080
+//	detectived -kb kb.nt -rules rules.dr -schema "Name,DOB,Country,Prize,Institution,City" \
+//	    -addr :8080 -ops-addr :9090
 //
 // Endpoints (see the server package): POST /clean, POST /explain,
 // GET /rules, GET /stats, GET /healthz, GET /readyz.
 //
+// A second, operator-only listener (-ops-addr, disabled when empty)
+// serves GET /metrics (Prometheus text format: repair latency
+// histograms, cache hit/miss counters, per-route HTTP metrics) and
+// net/http/pprof under /debug/pprof/ — profiling and scraping stay
+// off the public port.
+//
+// Logs are structured (log/slog, key=value on stderr); -log-level
+// picks the floor (debug logs every request with its X-Request-ID).
+//
 // On SIGTERM/SIGINT the server drains gracefully: /readyz flips to
 // 503 so load balancers stop routing new work, in-flight requests get
-// -drain-timeout to finish, then the listener closes.
+// -drain-timeout to finish, then both listeners close.
 package main
 
 import (
@@ -15,7 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -25,6 +35,7 @@ import (
 
 	"detective"
 	"detective/internal/server"
+	"detective/internal/telemetry"
 )
 
 func main() {
@@ -33,28 +44,38 @@ func main() {
 	schemaSpec := flag.String("schema", "", "comma-separated attribute names of the relation")
 	name := flag.String("name", "table", "relation name")
 	addr := flag.String("addr", ":8080", "listen address")
+	opsAddr := flag.String("ops-addr", "", "ops listen address serving GET /metrics and /debug/pprof (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	reqTimeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent cleaning requests (0 = 2×GOMAXPROCS)")
 	maxBody := flag.Int64("max-body", 64<<20, "max request body bytes")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "detectived: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(log)
+
 	if *kbPath == "" || *rulesPath == "" || *schemaSpec == "" {
-		fmt.Fprintln(os.Stderr, "usage: detectived -kb KB -rules RULES -schema A,B,C [-addr :8080]")
+		fmt.Fprintln(os.Stderr, "usage: detectived -kb KB -rules RULES -schema A,B,C [-addr :8080] [-ops-addr :9090]")
 		os.Exit(2)
 	}
 
 	kf, err := os.Open(*kbPath)
-	fail(err)
+	fail(log, err)
 	g, err := detective.ParseKB(kf)
 	kf.Close()
-	fail(err)
+	fail(log, err)
 
 	rf, err := os.Open(*rulesPath)
-	fail(err)
+	fail(log, err)
 	rs, err := detective.ParseRules(rf)
 	rf.Close()
-	fail(err)
+	fail(log, err)
 
 	attrs := strings.Split(*schemaSpec, ",")
 	for i := range attrs {
@@ -66,8 +87,9 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		MaxConcurrent:  *maxConcurrent,
 		MaxBodyBytes:   *maxBody,
+		Logger:         log,
 	})
-	fail(err)
+	fail(log, err)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -81,33 +103,56 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("detectived: %d rules over %v, KB %v; listening on %s",
-		len(rs), attrs, g, *addr)
+
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsSrv = &http.Server{
+			Addr:              *opsAddr,
+			Handler:           telemetry.NewOpsMux(telemetry.Default()),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() { errc <- opsSrv.ListenAndServe() }()
+		log.Info("ops listener up",
+			slog.String("addr", *opsAddr),
+			slog.String("endpoints", "/metrics /debug/pprof/"))
+	}
+
+	log.Info("detectived up",
+		slog.Int("rules", len(rs)),
+		slog.Any("schema", attrs),
+		slog.String("kb", fmt.Sprint(g)),
+		slog.String("addr", *addr),
+		slog.String("log_level", level.String()))
 
 	select {
 	case err := <-errc:
-		fail(err)
+		fail(log, err)
 	case <-ctx.Done():
 	}
 
 	// Drain: stop advertising readiness, give in-flight requests a
-	// deadline, then close.
-	log.Printf("detectived: signal received, draining for up to %v", *drainTimeout)
+	// deadline, then close both listeners.
+	log.Info("signal received, draining", slog.Duration("drain_timeout", *drainTimeout))
 	s.SetReady(false)
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("detectived: forced shutdown: %v", err)
+		log.Error("forced shutdown", slog.Any("error", err))
 		_ = srv.Close()
 	}
-	log.Printf("detectived: drained, exiting")
+	if opsSrv != nil {
+		if err := opsSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			_ = opsSrv.Close()
+		}
+	}
+	log.Info("drained, exiting")
 }
 
-func fail(err error) {
+func fail(log *slog.Logger, err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "detectived:", err)
+		log.Error("fatal", slog.Any("error", err))
 		os.Exit(1)
 	}
 }

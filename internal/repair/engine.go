@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"detective/internal/kb"
 	"detective/internal/relation"
@@ -73,6 +74,10 @@ type Engine struct {
 
 	// stats are the lifetime fault-tolerance counters; see Stats.
 	stats statsCounters
+
+	// instr exports outcome counters and sampled latency histograms to
+	// the process-wide telemetry registry.
+	instr *engineInstr
 }
 
 // check is one memoizable value-level test, identified by its dense
@@ -105,6 +110,13 @@ type Options struct {
 	// NoIndexes replaces signature-index candidate retrieval with
 	// full class-extent scans.
 	NoIndexes bool
+
+	// TelemetrySampleEvery is the latency-sampling period for the
+	// telemetry histograms: one tuple in every N is timed end to end
+	// and per stage. 0 picks DefaultTelemetrySampleEvery (64); a
+	// negative value disables latency sampling (outcome counters are
+	// exact either way).
+	TelemetrySampleEvery int
 
 	// StepBudget bounds the fixpoint work done on one tuple: the
 	// number of rule applications, and in cyclic rule graphs also the
@@ -222,6 +234,7 @@ func NewEngineWithOptions(drs []*rules.DR, g *kb.Graph, schema *relation.Schema,
 		// schedules while still catching genuine runaways.
 		e.stepBudget = 16*len(drs) + 64
 	}
+	e.instr = newEngineInstr(opts.TelemetrySampleEvery)
 	return e, nil
 }
 
@@ -418,8 +431,23 @@ func (e *Engine) repairInPlace(t *relation.Tuple) bool {
 // runFast drives the grouped rule schedule of Algorithm 2 over cl. It
 // reports whether the run completed within the per-tuple step budget;
 // a false return means cl holds a partial repair the caller must
-// discard in favour of the original values.
+// discard in favour of the original values. One tuple in every
+// sampling period additionally records end-to-end and per-stage
+// latency into the telemetry histograms; all other tuples pay one
+// atomic add (the sampler) and nil checks.
 func (e *Engine) runFast(cl *relation.Tuple, st *fastState) bool {
+	if !e.instr.sampler.Sample() {
+		return e.runFastGroups(cl, st)
+	}
+	st.timer = &stageTimer{start: time.Now()}
+	ok := e.runFastGroups(cl, st)
+	e.instr.observe(st.timer, e.stepBudget-st.stepsLeft)
+	st.timer = nil
+	return ok
+}
+
+// runFastGroups is the uninstrumented scheduling core of runFast.
+func (e *Engine) runFastGroups(cl *relation.Tuple, st *fastState) bool {
 	groups := e.Graph.Groups
 	if e.opts.NoRuleOrder {
 		// Ablation: one flat group re-scanned to a fixpoint, as in the
@@ -461,6 +489,7 @@ type fastState struct {
 	memo  []int8              // check ID -> tri-state result for the current values
 	alts  map[string][]string // optional multi-version recorder
 	steps *[]Step             // optional explanation recorder
+	timer *stageTimer         // non-nil only while this tuple is latency-sampled
 
 	stepsLeft int  // remaining rule applications before degrade
 	exceeded  bool // step budget exhausted for this tuple
@@ -484,6 +513,7 @@ func (e *Engine) getState() *fastState {
 	}
 	st.alts = nil
 	st.steps = nil
+	st.timer = nil
 	st.stepsLeft = e.stepBudget
 	st.exceeded = false
 	return st
@@ -492,6 +522,7 @@ func (e *Engine) getState() *fastState {
 func (e *Engine) putState(st *fastState) {
 	st.alts = nil
 	st.steps = nil
+	st.timer = nil
 	e.pool.Put(st)
 }
 
@@ -520,7 +551,15 @@ func (e *Engine) fastStep(t *relation.Tuple, idx int, st *fastState, cyclic bool
 				// earlier rule still prunes this one.
 				continue
 			}
-			if m.NodeCheck(t, c.node) {
+			var hold bool
+			if st.timer == nil {
+				hold = m.NodeCheck(t, c.node)
+			} else {
+				t0 := time.Now()
+				hold = m.NodeCheck(t, c.node)
+				st.timer.detect += time.Since(t0)
+			}
+			if hold {
 				res = memoTrue
 			} else {
 				res = memoFalse
@@ -541,7 +580,14 @@ func (e *Engine) fastStep(t *relation.Tuple, idx int, st *fastState, cyclic bool
 	}
 
 evaluate:
-	out := m.Evaluate(t)
+	var out rules.Outcome
+	if st.timer == nil {
+		out = m.Evaluate(t)
+	} else {
+		t0 := time.Now()
+		out = m.Evaluate(t)
+		st.timer.detect += time.Since(t0)
+	}
 	if !e.applicable(t, out) {
 		if !cyclic {
 			st.alive[idx] = false
@@ -551,6 +597,10 @@ evaluate:
 	if st.stepsLeft--; st.stepsLeft < 0 {
 		st.exceeded = true
 		return false
+	}
+	var applyStart time.Time
+	if st.timer != nil {
+		applyStart = time.Now()
 	}
 	oldValue := ""
 	if out.Kind == rules.Repair {
@@ -602,6 +652,9 @@ evaluate:
 		if subsumed {
 			st.alive[j] = false
 		}
+	}
+	if st.timer != nil {
+		st.timer.repair += time.Since(applyStart)
 	}
 	return true
 }

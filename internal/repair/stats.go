@@ -63,9 +63,11 @@ const (
 	tupleQuarantined
 )
 
-// count tallies the outcome into the engine's lifetime counters and
-// into the per-call snapshot, when one is supplied.
+// count tallies the outcome into the engine's lifetime counters, the
+// process-wide telemetry registry, and the per-call snapshot, when one
+// is supplied.
 func (e *Engine) count(oc tupleOutcome, call *Stats) {
+	e.instr.outcomes[oc].Inc()
 	switch oc {
 	case tupleOK:
 		e.stats.repaired.Add(1)

@@ -1,0 +1,131 @@
+package repair_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"detective/internal/dataset"
+	"detective/internal/repair"
+	"detective/internal/telemetry"
+)
+
+// outcomeCounters returns the process-wide telemetry counters the
+// engine bumps per tuple. The default registry is shared across the
+// whole test binary, so assertions below are delta-based.
+func outcomeCounters() (repaired, budget, quarantined *telemetry.Counter) {
+	reg := telemetry.Default()
+	lbl := func(v string) telemetry.Label {
+		return telemetry.Label{Name: "outcome", Value: v}
+	}
+	return reg.Counter("detective_repair_tuples_total", "", lbl("repaired")),
+		reg.Counter("detective_repair_tuples_total", "", lbl("budget_exhausted")),
+		reg.Counter("detective_repair_tuples_total", "", lbl("quarantined"))
+}
+
+// TestTelemetryConcurrentRepairTable runs many RepairTableContext calls
+// at once and checks that the engine's lifetime Stats, the per-call
+// Stats deltas, and the shared telemetry outcome counters all agree.
+// Run with -race: the counters are the contended surface.
+func TestTelemetryConcurrentRepairTable(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	e, err := repair.NewEngineWithOptions(ex.Rules, ex.KB, ex.Schema, repair.Options{
+		TelemetrySampleEvery: 1, // sample every tuple so histograms move too
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	repairedC, budgetC, quarC := outcomeCounters()
+	tupleCount := telemetry.Default().Histogram(
+		"detective_repair_tuple_seconds", "", nil)
+	sampledC := telemetry.Default().Counter("detective_repair_sampled_total", "")
+	base := repair.Stats{
+		Repaired:        repairedC.Value(),
+		BudgetExhausted: budgetC.Value(),
+		Quarantined:     quarC.Value(),
+	}
+	baseObs := tupleCount.Count()
+	baseSampled := sampledC.Value()
+
+	const callers = 8
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total repair.Stats
+	)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, st, err := e.RepairTableContext(context.Background(), ex.Dirty, 4)
+			if err != nil {
+				t.Errorf("RepairTableContext: %v", err)
+				return
+			}
+			mu.Lock()
+			total = total.Add(st)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	tuples := int64(callers * ex.Dirty.Len())
+	if total.Repaired != tuples || total.Quarantined != 0 || total.BudgetExhausted != 0 {
+		t.Fatalf("per-call stats sum = %v, want repaired=%d and no failures", total, tuples)
+	}
+	if got := e.Stats(); got != total {
+		t.Errorf("engine lifetime stats %v != per-call sum %v", got, total)
+	}
+
+	delta := repair.Stats{
+		Repaired:        repairedC.Value() - base.Repaired,
+		BudgetExhausted: budgetC.Value() - base.BudgetExhausted,
+		Quarantined:     quarC.Value() - base.Quarantined,
+	}
+	if delta != total {
+		t.Errorf("telemetry outcome counter delta %v != per-call sum %v", delta, total)
+	}
+	// Sampling every tuple: each tuple contributes one latency
+	// observation and one sampled-count tick.
+	if got := tupleCount.Count() - baseObs; got != tuples {
+		t.Errorf("tuple latency observations delta = %d, want %d", got, tuples)
+	}
+	if got := sampledC.Value() - baseSampled; got != tuples {
+		t.Errorf("sampled counter delta = %d, want %d", got, tuples)
+	}
+}
+
+// TestTelemetrySamplingDisabled checks that a negative sampling period
+// keeps latency histograms still while outcome counters stay exact.
+func TestTelemetrySamplingDisabled(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	e, err := repair.NewEngineWithOptions(ex.Rules, ex.KB, ex.Schema, repair.Options{
+		TelemetrySampleEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repairedC, _, _ := outcomeCounters()
+	tupleCount := telemetry.Default().Histogram(
+		"detective_repair_tuple_seconds", "", nil)
+	baseRepaired := repairedC.Value()
+	baseObs := tupleCount.Count()
+
+	out, st, err := e.RepairTableContext(context.Background(), ex.Dirty, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != ex.Dirty.Len() {
+		t.Fatalf("output rows = %d, want %d", out.Len(), ex.Dirty.Len())
+	}
+	if st.Repaired != int64(ex.Dirty.Len()) {
+		t.Fatalf("per-call repaired = %d, want %d", st.Repaired, ex.Dirty.Len())
+	}
+	if got := repairedC.Value() - baseRepaired; got != st.Repaired {
+		t.Errorf("outcome counter delta = %d, want %d", got, st.Repaired)
+	}
+	if got := tupleCount.Count() - baseObs; got != 0 {
+		t.Errorf("latency observations delta = %d, want 0 with sampling disabled", got)
+	}
+}

@@ -117,6 +117,24 @@ func (c *Catalog) CacheStats() (hits, misses int64, size int) {
 	return c.hits.Load(), c.misses.Load(), size
 }
 
+// IndexStats aggregates hit/miss/size accounting over every built
+// per-class signature index (similarity.StringIndex.Stats): hits are
+// lookups that found at least one candidate, size is the total number
+// of indexed instance names. Together with CacheStats this makes both
+// caching layers — the candidate cache in front, the signature
+// indexes behind it — observable through the same telemetry registry.
+func (c *Catalog) IndexStats() (hits, misses int64, size int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, ix := range c.idx {
+		h, m, s := ix.Stats()
+		hits += h
+		misses += m
+		size += s
+	}
+	return hits, misses, size
+}
+
 // Invalidate drops the candidate cache and the per-class signature
 // indexes. Lookups rebuild both lazily. Call it after mutating the KB
 // (checkGen also does this automatically by watching the KB

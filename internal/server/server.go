@@ -19,6 +19,13 @@
 // every per-tuple failure (panic, step-budget exhaustion) is
 // quarantined by the engine instead of failing the request. Errors are
 // JSON envelopes: {"error":{"status":...,"message":...}}.
+//
+// Every route is instrumented through internal/telemetry: per-route
+// request counters and latency histograms, an in-flight gauge,
+// shed/413/timeout counters, and catalog + signature-index cache
+// exports, all scrapeable as Prometheus text on the ops listener
+// (cmd/detectived -ops-addr). Each request carries a span whose ID is
+// echoed as X-Request-ID and attached to the structured logs.
 package server
 
 import (
@@ -27,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -37,6 +45,7 @@ import (
 	"detective/internal/relation"
 	"detective/internal/repair"
 	"detective/internal/rules"
+	"detective/internal/telemetry"
 )
 
 // Trailer names carrying per-request cleaning stats on POST /clean.
@@ -60,6 +69,15 @@ type Config struct {
 	// MaxBodyBytes caps the request body; larger bodies get 413.
 	// Default 64 MiB.
 	MaxBodyBytes int64
+	// Logger receives structured request and lifecycle logs (access
+	// logs at Debug, slow requests at Warn). Nil uses slog.Default().
+	Logger *slog.Logger
+	// Metrics is the registry the server's HTTP metrics and cache
+	// exports register into. Nil uses telemetry.Default().
+	Metrics *telemetry.Registry
+	// SlowRequestThreshold is the latency above which a request is
+	// logged as slow (sampled, with its request ID). Default 5s.
+	SlowRequestThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +90,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.Default()
+	}
+	if c.SlowRequestThreshold <= 0 {
+		c.SlowRequestThreshold = 5 * time.Second
+	}
 	return c
 }
 
@@ -83,8 +110,15 @@ type Server struct {
 	schema *relation.Schema
 	mux    *http.ServeMux
 	cfg    Config
+	log    *slog.Logger
 	sem    chan struct{} // cleaning-concurrency semaphore
 	ready  atomic.Bool   // readiness: warmed and not draining
+
+	// Overload/limit counters, exported through the telemetry registry
+	// next to the middleware's per-route metrics.
+	shedTotal     *telemetry.Counter // 429: concurrency limit
+	tooLargeTotal *telemetry.Counter // 413: body over MaxBodyBytes
+	timeoutTotal  *telemetry.Counter // request deadline expiries
 }
 
 // New builds the server with default Config and pre-warms the
@@ -109,23 +143,74 @@ func NewWithConfig(drs []*rules.DR, g *kb.Graph, schema *relation.Schema, cfg Co
 		schema: schema,
 		mux:    http.NewServeMux(),
 		cfg:    cfg,
+		log:    cfg.Logger,
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
+	}
+
+	reg := cfg.Metrics
+	s.shedTotal = reg.Counter("detective_http_shed_total",
+		"Cleaning requests shed with 429 because the concurrency limit was reached.")
+	s.tooLargeTotal = reg.Counter("detective_http_body_too_large_total",
+		"Requests rejected with 413 because the body exceeded the limit.")
+	s.timeoutTotal = reg.Counter("detective_http_timeout_total",
+		"Requests whose per-request deadline expired.")
+	registerCacheMetrics(reg, e.Cat)
+
+	httpm := telemetry.NewHTTPMetrics(reg, "detective")
+	httpm.SetLogger(s.log)
+	httpm.SetSlowLogger(&telemetry.SlowLogger{
+		Logger:    s.log,
+		Threshold: cfg.SlowRequestThreshold,
+		Every:     1,
+	})
+	// Every route sits behind the middleware: per-route request
+	// counters by status, latency histograms, the in-flight gauge, a
+	// root span whose ID is echoed as X-Request-ID, and Debug access
+	// logs carrying that ID.
+	handle := func(pattern, route string, h http.Handler) {
+		s.mux.Handle(pattern, httpm.Handler(route, h))
 	}
 	// /clean streams its response, so it cannot sit behind
 	// http.TimeoutHandler (which buffers the whole body to be able to
 	// replace it); its deadline is enforced through the request
 	// context instead, checked between rows.
-	s.mux.Handle("POST /clean", s.limit(http.HandlerFunc(s.handleClean)))
-	s.mux.Handle("POST /explain", s.limit(s.timeout(http.HandlerFunc(s.handleExplain))))
-	s.mux.Handle("GET /rules", s.timeout(http.HandlerFunc(s.handleRules)))
-	s.mux.Handle("GET /stats", s.timeout(http.HandlerFunc(s.handleStats)))
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle("POST /clean", "/clean", s.limit(http.HandlerFunc(s.handleClean)))
+	handle("POST /explain", "/explain", s.limit(s.timeout(http.HandlerFunc(s.handleExplain))))
+	handle("GET /rules", "/rules", s.timeout(http.HandlerFunc(s.handleRules)))
+	handle("GET /stats", "/stats", s.timeout(http.HandlerFunc(s.handleStats)))
+	handle("GET /healthz", "/healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
-	})
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	}))
+	handle("GET /readyz", "/readyz", http.HandlerFunc(s.handleReadyz))
 	s.ready.Store(true)
 	return s, nil
+}
+
+// registerCacheMetrics exports the catalog's two caching layers as
+// scrape-time series: the cross-tuple candidate cache in front
+// (rules.Catalog.CacheStats) and the per-class signature indexes
+// behind it (rules.Catalog.IndexStats). Func collectors replace on
+// re-registration, so the newest server's catalog wins the series.
+func registerCacheMetrics(reg *telemetry.Registry, cat *rules.Catalog) {
+	reg.CounterFunc("detective_catalog_cache_hits_total",
+		"Candidate-cache lookups answered from the cache.",
+		func() float64 { h, _, _ := cat.CacheStats(); return float64(h) })
+	reg.CounterFunc("detective_catalog_cache_misses_total",
+		"Candidate-cache lookups that fell through to the signature indexes.",
+		func() float64 { _, m, _ := cat.CacheStats(); return float64(m) })
+	reg.GaugeFunc("detective_catalog_cache_size",
+		"Candidate lists currently cached.",
+		func() float64 { _, _, n := cat.CacheStats(); return float64(n) })
+	reg.CounterFunc("detective_similarity_index_hits_total",
+		"Signature-index lookups that found at least one candidate.",
+		func() float64 { h, _, _ := cat.IndexStats(); return float64(h) })
+	reg.CounterFunc("detective_similarity_index_misses_total",
+		"Signature-index lookups that found no candidate.",
+		func() float64 { _, m, _ := cat.IndexStats(); return float64(m) })
+	reg.GaugeFunc("detective_similarity_index_size",
+		"Instance names indexed across all per-class signature indexes.",
+		func() float64 { _, _, n := cat.IndexStats(); return float64(n) })
 }
 
 // ServeHTTP implements http.Handler.
@@ -155,6 +240,10 @@ func (s *Server) limit(h http.Handler) http.Handler {
 			defer func() { <-s.sem }()
 			h.ServeHTTP(w, r)
 		default:
+			s.shedTotal.Inc()
+			s.log.Warn("load shed",
+				slog.String("request_id", telemetry.RequestID(r.Context())),
+				slog.Int("max_concurrent", cap(s.sem)))
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests,
 				"server at capacity (%d concurrent cleaning requests)", cap(s.sem))
@@ -163,13 +252,21 @@ func (s *Server) limit(h http.Handler) http.Handler {
 }
 
 // timeout wraps buffered handlers in http.TimeoutHandler so a wedged
-// request cannot hold its connection past the deadline.
+// request cannot hold its connection past the deadline. The inner
+// handler tallies deadline expiries when it observes them (the
+// TimeoutHandler has already answered 503 by then).
 func (s *Server) timeout(h http.Handler) http.Handler {
 	body, _ := json.Marshal(errorEnvelope{errorBody{
 		Status:  http.StatusServiceUnavailable,
 		Message: "request deadline exceeded",
 	}})
-	return http.TimeoutHandler(h, s.cfg.RequestTimeout, string(body))
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(w, r)
+		if errors.Is(r.Context().Err(), context.DeadlineExceeded) {
+			s.timeoutTotal.Inc()
+		}
+	})
+	return http.TimeoutHandler(inner, s.cfg.RequestTimeout, string(body))
 }
 
 // requestContext applies the per-request deadline to streaming
@@ -184,6 +281,7 @@ func (s *Server) readTable(w http.ResponseWriter, r *http.Request) (*relation.Ta
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
+			s.tooLargeTotal.Inc()
 			writeError(w, http.StatusRequestEntityTooLarge,
 				"request body exceeds %d bytes", tooLarge.Limit)
 			return nil, false
@@ -305,16 +403,25 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 		// on the wire. The stream has flushed everything cleaned so
 		// far (the trailers say how much); terminating the body is all
 		// that is left to do.
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.timeoutTotal.Inc()
+		}
+		s.log.Warn("clean stream ended early",
+			slog.String("request_id", telemetry.RequestID(ctx)),
+			slog.Int("rows", res.Rows),
+			slog.Any("error", err))
 		return
 	}
 	switch {
 	case errors.Is(err, context.Canceled):
 		// Client went away; nobody is listening for a status.
 	case errors.Is(err, context.DeadlineExceeded):
+		s.timeoutTotal.Inc()
 		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded")
 	default:
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
+			s.tooLargeTotal.Inc()
 			writeError(w, http.StatusRequestEntityTooLarge,
 				"request body exceeds %d bytes", tooLarge.Limit)
 			return
@@ -387,20 +494,36 @@ func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
+// CacheStats is the JSON shape of one cache layer's accounting.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Size   int   `json:"size"`
+}
+
 // StatsResponse is the JSON shape of GET /stats.
 type StatsResponse struct {
 	Schema []string     `json:"schema"`
 	Rules  int          `json:"rules"`
 	KB     kb.Stats     `json:"kb"`
 	Repair repair.Stats `json:"repair"`
+	// CandidateCache is the catalog's cross-tuple candidate cache;
+	// SignatureIndex is the per-class signature indexes behind it. The
+	// same numbers are exported as Prometheus series on the ops port.
+	CandidateCache CacheStats `json:"candidateCache"`
+	SignatureIndex CacheStats `json:"signatureIndex"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	ch, cm, cn := s.engine.Cat.CacheStats()
+	ih, im, in := s.engine.Cat.IndexStats()
 	writeJSON(w, StatsResponse{
-		Schema: s.schema.Attrs,
-		Rules:  len(s.rules),
-		KB:     s.kbase.ComputeStats(5),
-		Repair: s.engine.Stats(),
+		Schema:         s.schema.Attrs,
+		Rules:          len(s.rules),
+		KB:             s.kbase.ComputeStats(5),
+		Repair:         s.engine.Stats(),
+		CandidateCache: CacheStats{Hits: ch, Misses: cm, Size: cn},
+		SignatureIndex: CacheStats{Hits: ih, Misses: im, Size: in},
 	})
 }
 

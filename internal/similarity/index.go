@@ -1,6 +1,9 @@
 package similarity
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // StringIndex answers "which indexed strings match q under spec?"
 // without scanning all entries, implementing the signature-based
@@ -17,6 +20,13 @@ import "fmt"
 // may carry several payloads.
 type StringIndex struct {
 	maxK int
+
+	// hits counts Lookup calls that produced at least one candidate;
+	// misses counts the rest — the same shape as the catalog's
+	// candidate-cache stats (rules.Catalog.CacheStats), so both layers
+	// export through one registry. Atomics keep frozen-index lookups
+	// safe for concurrent use.
+	hits, misses atomic.Int64
 
 	strs     []string
 	payloads []int32
@@ -232,21 +242,36 @@ func (ix *StringIndex) lookupToken(q string, accept func(string) bool) []int32 {
 	return ix.collect(verified, nil)
 }
 
-// Lookup dispatches on the spec.
+// Lookup dispatches on the spec and tallies hit/miss accounting.
 func (ix *StringIndex) Lookup(spec Spec, q string) []int32 {
 	fireHook(q)
+	var out []int32
 	switch spec.Op {
 	case OpEq:
-		return ix.LookupEq(q)
+		out = ix.LookupEq(q)
 	case OpED:
-		return ix.LookupED(q, spec.K)
+		out = ix.LookupED(q, spec.K)
 	case OpJaccard:
-		return ix.LookupJaccard(q, spec.Tau)
+		out = ix.LookupJaccard(q, spec.Tau)
 	case OpCosine:
-		return ix.LookupCosine(q, spec.Tau)
+		out = ix.LookupCosine(q, spec.Tau)
 	default:
 		return nil
 	}
+	if len(out) > 0 {
+		ix.hits.Add(1)
+	} else {
+		ix.misses.Add(1)
+	}
+	return out
+}
+
+// Stats reports how many Lookup calls found at least one candidate
+// (hits) or none (misses), and the number of indexed entries. It
+// mirrors rules.Catalog.CacheStats so the signature indexes and the
+// candidate cache are observable through the same telemetry registry.
+func (ix *StringIndex) Stats() (hits, misses int64, size int) {
+	return ix.hits.Load(), ix.misses.Load(), ix.Len()
 }
 
 // collect maps entry indexes to their payloads, deduplicating

@@ -1,0 +1,56 @@
+package similarity
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStringIndexStats(t *testing.T) {
+	ix := NewStringIndex(2)
+	ix.Add("Haifa", 1)
+	ix.Add("Karcag", 2)
+	ix.Add("Haifa", 3) // same string, second payload
+
+	if h, m, s := ix.Stats(); h != 0 || m != 0 || s != 3 {
+		t.Fatalf("fresh index stats = (%d, %d, %d), want (0, 0, 3)", h, m, s)
+	}
+
+	if got := ix.Lookup(Spec{Op: OpEq}, "Haifa"); len(got) != 2 {
+		t.Fatalf("eq lookup = %v, want 2 payloads", got)
+	}
+	if got := ix.Lookup(Spec{Op: OpED, K: 1}, "Hifa"); len(got) == 0 {
+		t.Fatalf("ED lookup found nothing for Hifa")
+	}
+	if got := ix.Lookup(Spec{Op: OpEq}, "Budapest"); got != nil {
+		t.Fatalf("lookup of absent value = %v, want nil", got)
+	}
+
+	h, m, s := ix.Stats()
+	if h != 2 || m != 1 || s != 3 {
+		t.Fatalf("stats = (%d, %d, %d), want (2, 1, 3)", h, m, s)
+	}
+}
+
+// TestStringIndexStatsConcurrent exercises the atomic counters from
+// many goroutines; run with -race.
+func TestStringIndexStatsConcurrent(t *testing.T) {
+	ix := NewStringIndex(1)
+	ix.Add("value", 1)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ix.Lookup(Spec{Op: OpEq}, "value")   // hit
+				ix.Lookup(Spec{Op: OpEq}, "missing") // miss
+			}
+		}()
+	}
+	wg.Wait()
+	h, m, _ := ix.Stats()
+	if h != workers*per || m != workers*per {
+		t.Fatalf("stats = (%d, %d), want (%d, %d)", h, m, workers*per, workers*per)
+	}
+}

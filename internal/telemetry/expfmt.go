@@ -1,0 +1,288 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the exposition produced by
+// WritePrometheus.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in Prometheus text
+// format v0.0.4: `# HELP` and `# TYPE` per family, families and series
+// in sorted order, histograms as cumulative `_bucket{le=...}` plus
+// `_sum` and `_count`. Scrape-time func collectors are evaluated
+// outside the registry lock, so they may themselves use the registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fam))
+	for _, f := range r.fam {
+		fams = append(fams, f)
+	}
+	type snap struct {
+		f   *family
+		ser []*series
+	}
+	snaps := make([]snap, len(fams))
+	for i, f := range fams {
+		ser := make([]*series, 0, len(f.ser))
+		for _, s := range f.ser {
+			ser = append(ser, s)
+		}
+		snaps[i] = snap{f: f, ser: ser}
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].f.name < snaps[j].f.name })
+	bw := bufio.NewWriter(w)
+	for _, sn := range snaps {
+		sort.Slice(sn.ser, func(i, j int) bool { return sn.ser[i].key < sn.ser[j].key })
+		if sn.f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", sn.f.name, escapeHelp(sn.f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", sn.f.name, sn.f.typ)
+		for _, s := range sn.ser {
+			writeSeries(bw, sn.f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w *bufio.Writer, f *family, s *series) {
+	switch {
+	case s.counter != nil:
+		writeSample(w, f.name, s.key, formatInt(s.counter.Value()))
+	case s.counterFunc != nil:
+		writeSample(w, f.name, s.key, formatFloat(s.counterFunc()))
+	case s.gauge != nil:
+		writeSample(w, f.name, s.key, formatFloat(s.gauge.Value()))
+	case s.gaugeFunc != nil:
+		writeSample(w, f.name, s.key, formatFloat(s.gaugeFunc()))
+	case s.histogram != nil:
+		h := s.histogram
+		var cum int64
+		for i, ub := range h.upper {
+			cum += h.counts[i].Load()
+			writeSample(w, f.name+"_bucket", joinLabels(s.key, `le="`+formatFloat(ub)+`"`), formatInt(cum))
+		}
+		cum += h.counts[len(h.upper)].Load()
+		writeSample(w, f.name+"_bucket", joinLabels(s.key, `le="+Inf"`), formatInt(cum))
+		writeSample(w, f.name+"_sum", s.key, formatFloat(h.Sum()))
+		writeSample(w, f.name+"_count", s.key, formatInt(cum))
+	}
+}
+
+func writeSample(w *bufio.Writer, name, labels, value string) {
+	w.WriteString(name)
+	if labels != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func joinLabels(key, extra string) string {
+	if key == "" {
+		return extra
+	}
+	return key + "," + extra
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// ValidateExposition parses a Prometheus text-format exposition and
+// returns the number of samples read. It checks comment structure,
+// metric-name and label syntax, quote escaping, and that every value
+// parses as a float — the checks `make metrics-check` and the ops
+// tests run against a live /metrics scrape.
+func ValidateExposition(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line); err != nil {
+				return samples, fmt.Errorf("line %d: %w", lineno, err)
+			}
+			continue
+		}
+		if err := validateSample(line); err != nil {
+			return samples, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	return samples, nil
+}
+
+func validateComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+func validateSample(line string) error {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 || !validMetricName(line[:i]) {
+		return fmt.Errorf("bad metric name in %q", line)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		n, err := scanLabels(rest)
+		if err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[n:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// value [timestamp]
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want 'value [timestamp]', got %q", rest)
+	}
+	if !validFloat(fields[0]) {
+		return fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return nil
+}
+
+// scanLabels validates a {name="value",...} block and returns its
+// length in bytes, including both braces.
+func scanLabels(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) || !validLabelName(s[start:i]) {
+			return 0, fmt.Errorf("bad label name")
+		}
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value not quoted")
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++ // skip escaped char
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validFloat(s string) bool {
+	switch s {
+	case "+Inf", "-Inf", "NaN", "Inf":
+		return true
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "Total requests.", Label{"route", "/clean"}, Label{"code", "200"}).Add(3)
+	r.Gauge("in_flight", "In flight.").Set(2)
+	r.Histogram("latency_seconds", "Latency.", []float64{0.01, 0.1}).Observe(0.05)
+	r.GaugeFunc("cache_size", "Entries.", func() float64 { return 11 })
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	n, err := ValidateExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("self-produced exposition does not validate: %v\n%s", err, out)
+	}
+	// 1 counter + 1 gauge + (2 buckets + Inf + sum + count) + 1 func = 8
+	if n != 8 {
+		t.Fatalf("samples = %d, want 8\n%s", n, out)
+	}
+	// Labels are sorted and code label is merged with le on buckets.
+	if !strings.Contains(out, `requests_total{code="200",route="/clean"} 3`) {
+		t.Errorf("counter sample missing or labels unsorted:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE latency_seconds histogram") {
+		t.Errorf("TYPE comment missing:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", "Has \\ and \n in help.",
+		Label{"v", "a\"b\\c\nd"}).Inc()
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if _, err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("escaped exposition does not validate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `v="a\"b\\c\nd"`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestValidateExpositionRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"9metric 1",                 // name starts with digit
+		"m{x=nope} 1",               // unquoted label value
+		`m{x="a} 1`,                 // unterminated quote
+		"m one",                     // non-float value
+		"# TYPE m flavor",           // unknown type
+		`m{x="a"} 1 2 3`,            // trailing junk
+		`m{1x="a"} 1`,               // bad label name
+		"m 1.5 notatimestamp",       // bad timestamp
+		"metric_total{} 1 xtrailer", // ditto with empty label block
+	} {
+		if _, err := ValidateExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("ValidateExposition(%q) accepted garbage", bad)
+		}
+	}
+	good := "# HELP m Help text.\n# TYPE m counter\nm{a=\"b\"} 1 1700000000\n\nm2 +Inf\n"
+	n, err := ValidateExposition(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("samples = %d, want 2", n)
+	}
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+)
+
+// RequestIDHeader is the response header carrying the request's span
+// ID, so clients and log aggregators can correlate.
+const RequestIDHeader = "X-Request-ID"
+
+// HTTPMetrics instruments http.Handlers: per-route request counters
+// labeled by status code, per-route latency histograms, and an
+// in-flight gauge, all in one registry namespace. Each request also
+// gets a root span whose ID is echoed in X-Request-ID and available to
+// the handler via RequestID(r.Context()).
+type HTTPMetrics struct {
+	reg      *Registry
+	ns       string
+	inFlight *Gauge
+	logger   *slog.Logger // optional per-request access log (Debug)
+	slow     *SlowLogger  // optional slow-request log (Warn)
+}
+
+// NewHTTPMetrics creates middleware state over reg with the metric
+// namespace ns (series are named ns_http_*). A nil reg uses the
+// default registry.
+func NewHTTPMetrics(reg *Registry, ns string) *HTTPMetrics {
+	if reg == nil {
+		reg = Default()
+	}
+	return &HTTPMetrics{
+		reg: reg,
+		ns:  ns,
+		inFlight: reg.Gauge(ns+"_http_in_flight",
+			"Requests currently being served."),
+	}
+}
+
+// SetLogger installs an access logger; every completed request is
+// logged at Debug with its route, method, status, duration and
+// request ID.
+func (m *HTTPMetrics) SetLogger(l *slog.Logger) { m.logger = l }
+
+// SetSlowLogger installs a slow-request logger.
+func (m *HTTPMetrics) SetSlowLogger(sl *SlowLogger) { m.slow = sl }
+
+// Registry returns the backing registry.
+func (m *HTTPMetrics) Registry() *Registry { return m.reg }
+
+// Handler wraps next with instrumentation for one route. The route
+// string becomes the "route" label, so register one wrapper per
+// pattern, not per request.
+func (m *HTTPMetrics) Handler(route string, next http.Handler) http.Handler {
+	hist := m.reg.Histogram(m.ns+"_http_request_seconds",
+		"Request latency by route.", DefBuckets, Label{"route", route})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, sp := StartSpan(r.Context(), route)
+		w.Header().Set(RequestIDHeader, sp.ID)
+		m.inFlight.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		m.inFlight.Dec()
+		d := sp.End()
+		hist.Observe(d.Seconds())
+		code := strconv.Itoa(sw.Status())
+		m.reg.Counter(m.ns+"_http_requests_total",
+			"Requests served by route and status code.",
+			Label{"route", route}, Label{"code", code}).Inc()
+		if m.logger != nil {
+			m.logger.Debug("request",
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.String("code", code),
+				slog.Duration("duration", d),
+				slog.String("request_id", sp.ID))
+		}
+		m.slow.Observe(route, sp.ID, d,
+			slog.String("method", r.Method), slog.String("code", code))
+	})
+}
+
+// statusWriter captures the response status code. Unwrap exposes the
+// underlying writer so http.ResponseController (and through it
+// Flush/EnableFullDuplex on the streaming /clean path) keeps working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Status returns the committed status code, or 200 if the handler
+// finished without writing anything (net/http's implicit 200).
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// Unwrap supports http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

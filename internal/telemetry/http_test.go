@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPMiddlewareMetrics(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "test")
+	var logBuf bytes.Buffer
+	m.SetLogger(slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug})))
+
+	h := m.Handler("/ok", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if RequestID(r.Context()) == "" {
+			t.Error("handler must see a request ID in its context")
+		}
+		if m.reg.Gauge("test_http_in_flight", "").Value() != 1 {
+			t.Error("in-flight gauge must be 1 inside the handler")
+		}
+		io.WriteString(w, "hi")
+	}))
+	bad := m.Handler("/bad", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusTeapot)
+	}))
+
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/ok", nil))
+		if rec.Header().Get(RequestIDHeader) == "" {
+			t.Fatal("response must carry X-Request-ID")
+		}
+	}
+	rec := httptest.NewRecorder()
+	bad.ServeHTTP(rec, httptest.NewRequest("GET", "/bad", nil))
+
+	if got := reg.Counter("test_http_requests_total", "", Label{"route", "/ok"}, Label{"code", "200"}).Value(); got != 3 {
+		t.Fatalf("ok counter = %d, want 3", got)
+	}
+	if got := reg.Counter("test_http_requests_total", "", Label{"route", "/bad"}, Label{"code", "418"}).Value(); got != 1 {
+		t.Fatalf("bad counter = %d, want 1", got)
+	}
+	if got := reg.Gauge("test_http_in_flight", "").Value(); got != 0 {
+		t.Fatalf("in-flight after requests = %v, want 0", got)
+	}
+	if got := reg.Histogram("test_http_request_seconds", "", nil, Label{"route", "/ok"}).Count(); got != 3 {
+		t.Fatalf("latency observations = %d, want 3", got)
+	}
+	if !strings.Contains(logBuf.String(), "route=/ok") {
+		t.Fatalf("access log missing route:\n%s", logBuf.String())
+	}
+}
+
+// TestStatusWriterUnwrap proves the middleware does not break
+// http.ResponseController — the streaming /clean path needs Flush and
+// EnableFullDuplex through the wrapper.
+func TestStatusWriterUnwrap(t *testing.T) {
+	m := NewHTTPMetrics(NewRegistry(), "test")
+	flushed := false
+	h := m.Handler("/stream", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rc := http.NewResponseController(w)
+		io.WriteString(w, "chunk")
+		if err := rc.Flush(); err != nil {
+			t.Errorf("Flush through statusWriter: %v", err)
+			return
+		}
+		flushed = true
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !flushed {
+		t.Fatal("handler did not flush")
+	}
+}
+
+func TestOpsMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops_test_total", "A counter.").Inc()
+	srv := httptest.NewServer(NewOpsMux(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("/metrics exposition invalid: %v\n%s", err, body)
+	}
+	if !bytes.Contains(body, []byte("ops_test_total 1")) {
+		t.Fatalf("metrics missing sample:\n%s", body)
+	}
+
+	pp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", pp.StatusCode)
+	}
+}

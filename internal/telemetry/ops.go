@@ -1,0 +1,32 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewOpsMux builds the operator-facing mux served on a separate
+// listener (cmd/detectived -ops-addr): GET /metrics with the
+// registry's Prometheus exposition, plus net/http/pprof under
+// /debug/pprof/. Keeping these off the public port means the serving
+// surface stays minimal while operators still get profiles and
+// metrics. A nil reg uses the default registry.
+func NewOpsMux(reg *Registry) *http.ServeMux {
+	if reg == nil {
+		reg = Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = reg.WritePrometheus(w)
+	})
+	// Explicit pprof registration: a blank import of net/http/pprof
+	// would pollute http.DefaultServeMux, which the public server does
+	// not use but other code might accidentally serve.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

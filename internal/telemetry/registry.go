@@ -1,0 +1,344 @@
+// Package telemetry is the repo's zero-dependency observability layer:
+// an atomic metrics registry (counters, gauges, fixed-bucket
+// histograms) cheap enough for the repair hot path, Prometheus text
+// exposition (format v0.0.4), and lightweight span tracing with IDs
+// propagated through context.Context.
+//
+// Everything is stdlib-only. Collectors are created through idempotent
+// registry getters — asking twice for the same (name, labels) returns
+// the same collector — so packages can instrument themselves without
+// coordinating registration order, and tests that build many engines
+// share one set of series instead of colliding.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name, Value string
+}
+
+// Counter is a monotonically increasing metric, safe for concurrent
+// use. The zero value is usable but unregistered; obtain registered
+// counters from Registry.Counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 value that may go up and down, safe for
+// concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (negative to subtract).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Observe is lock-free: a
+// binary search over the (immutable) upper bounds, one atomic bucket
+// increment and one CAS-loop float add for the sum — cheap enough to
+// sit on the repair hot path behind a sampler.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds, +Inf implicit
+	counts []atomic.Int64
+	sum    atomicFloat
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	up := append([]float64(nil), buckets...)
+	sort.Float64s(up)
+	return &Histogram{upper: up, counts: make([]atomic.Int64, len(up)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.upper, v)].Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// atomicFloat is a float64 with atomic add, stored as raw bits.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// DefBuckets are general-purpose latency buckets in seconds, spanning
+// 1µs (a single memoized check) to 10s (a pathological request).
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// ExpBuckets returns n buckets starting at start, each factor times
+// the previous — for size- or count-shaped distributions.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance of a family. Exactly one of the
+// collector fields is set.
+type series struct {
+	labels []Label // sorted by name
+	key    string  // rendered label set, the family map key
+
+	counter     *Counter
+	gauge       *Gauge
+	histogram   *Histogram
+	counterFunc func() float64
+	gaugeFunc   func() float64
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name string
+	help string
+	typ  metricType
+	ser  map[string]*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. All methods are safe for concurrent use.
+type Registry struct {
+	mu  sync.RWMutex
+	fam map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fam: make(map[string]*family)} }
+
+// std is the process-wide default registry, used by packages that
+// instrument themselves without an explicit registry (the repair
+// engine, the server's middleware by default).
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Counter returns the registered counter for (name, labels), creating
+// it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.getOrCreate(name, help, typeCounter, labels, func(s *series) {
+		s.counter = &Counter{}
+	})
+	return s.counter
+}
+
+// Gauge returns the registered gauge for (name, labels), creating it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.getOrCreate(name, help, typeGauge, labels, func(s *series) {
+		s.gauge = &Gauge{}
+	})
+	return s.gauge
+}
+
+// Histogram returns the registered histogram for (name, labels),
+// creating it with the given bucket upper bounds on first use (nil
+// buckets pick DefBuckets). Later calls return the existing histogram
+// regardless of the buckets argument.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	s := r.getOrCreate(name, help, typeHistogram, labels, func(s *series) {
+		s.histogram = newHistogram(buckets)
+	})
+	return s.histogram
+}
+
+// CounterFunc registers fn as a counter series evaluated at scrape
+// time — for exporting counters owned elsewhere (cache hit totals). A
+// second registration for the same (name, labels) replaces the
+// function, so rebuilt components (new server, new engine) can
+// re-point the series at their live state.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.registerFunc(name, help, typeCounter, labels, fn)
+}
+
+// GaugeFunc registers fn as a gauge series evaluated at scrape time,
+// with the same replace-on-reregister behavior as CounterFunc.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.registerFunc(name, help, typeGauge, labels, fn)
+}
+
+// registerFunc inserts or replaces a scrape-time func series under the
+// write lock, so replacement never races a concurrent scrape.
+func (r *Registry) registerFunc(name, help string, typ metricType, labels []Label, fn func() float64) {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	key := renderLabels(labels)
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, ser: make(map[string]*series)}
+		r.fam[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	s := &series{labels: ls, key: key}
+	if typ == typeCounter {
+		s.counterFunc = fn
+	} else {
+		s.gaugeFunc = fn
+	}
+	f.ser[key] = s
+}
+
+// getOrCreate finds or inserts the series, enforcing that one name
+// maps to one metric type.
+func (r *Registry) getOrCreate(name, help string, typ metricType, labels []Label, init func(*series)) *series {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	key := renderLabels(labels)
+
+	r.mu.RLock()
+	f := r.fam[name]
+	var s *series
+	var haveTyp metricType
+	if f != nil {
+		s = f.ser[key]
+		haveTyp = f.typ
+	}
+	r.mu.RUnlock()
+	if s != nil {
+		if haveTyp != typ {
+			panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, haveTyp, typ))
+		}
+		return s
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f = r.fam[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, ser: make(map[string]*series)}
+		r.fam[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	if s = f.ser[key]; s != nil {
+		return s
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	s = &series{labels: ls, key: key}
+	init(s)
+	f.ser[key] = s
+	return s
+}
+
+// renderLabels renders a canonical sorted key for the label set.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}

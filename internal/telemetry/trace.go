@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"context"
+	"hash/maphash"
+	"log/slog"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed unit of work. Spans use the monotonic clock
+// (time.Now's monotonic reading survives wall-clock adjustments), so
+// durations are correct across NTP steps. Spans are created with
+// StartSpan and travel down call trees via context.Context.
+type Span struct {
+	// Name is the operation, e.g. a route ("/clean") or a stage.
+	Name string
+	// ID is a 16-hex-digit identifier, unique within the process, used
+	// as the request ID in logs and the X-Request-ID header.
+	ID string
+	// Parent is the ID of the enclosing span, if any.
+	Parent string
+
+	start time.Time
+}
+
+type spanCtxKey struct{}
+
+// idSeed randomizes span IDs per process (maphash seeds are random);
+// idSeq makes them unique within the process. The odd multiplier
+// spreads sequential counters over the ID space (SplitMix64 constant).
+var (
+	idSeed = maphash.Bytes(maphash.MakeSeed(), []byte("telemetry.span"))
+	idSeq  atomic.Uint64
+)
+
+func newSpanID() string {
+	v := idSeed ^ (idSeq.Add(1) * 0x9e3779b97f4a7c15)
+	const hexDigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// StartSpan begins a span named name, parented to the context's
+// current span if one exists, and returns a context carrying the new
+// span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sp := &Span{Name: name, ID: newSpanID(), start: time.Now()}
+	if p := SpanFromContext(ctx); p != nil {
+		sp.Parent = p.ID
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp), sp
+}
+
+// SpanFromContext returns the context's innermost span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// RequestID returns the innermost span's ID, or "" when the context
+// carries no span — the correlation key structured logs attach to
+// every record of one request.
+func RequestID(ctx context.Context) string {
+	if sp := SpanFromContext(ctx); sp != nil {
+		return sp.ID
+	}
+	return ""
+}
+
+// Duration returns the time elapsed since the span started.
+func (s *Span) Duration() time.Duration { return time.Since(s.start) }
+
+// End finishes the span and returns its duration. Spans are not
+// collected anywhere by default; feed the duration to a histogram
+// and/or a SlowLogger.
+func (s *Span) End() time.Duration { return time.Since(s.start) }
+
+// SlowLogger logs spans that exceed a threshold, sampled so a storm of
+// slow work cannot flood the log. The zero value is inert.
+type SlowLogger struct {
+	// Logger receives the records; nil disables logging.
+	Logger *slog.Logger
+	// Threshold is the duration above which a span counts as slow.
+	Threshold time.Duration
+	// Every samples the slow stream: only every Every-th slow span is
+	// logged (<= 1 logs them all). The skipped count is attached to the
+	// next logged record as "suppressed".
+	Every int64
+
+	slow       atomic.Int64
+	suppressed atomic.Int64
+}
+
+// Observe reports whether the (name, id, d) observation was logged.
+// Fast observations return immediately with a single branch.
+func (sl *SlowLogger) Observe(name, id string, d time.Duration, attrs ...any) bool {
+	if sl == nil || sl.Logger == nil || d < sl.Threshold {
+		return false
+	}
+	n := sl.slow.Add(1)
+	if sl.Every > 1 && n%sl.Every != 1 {
+		sl.suppressed.Add(1)
+		return false
+	}
+	sup := sl.suppressed.Swap(0)
+	args := append([]any{
+		slog.String("span", name),
+		slog.String("request_id", id),
+		slog.Duration("duration", d),
+		slog.String("threshold", sl.Threshold.String()),
+	}, attrs...)
+	if sup > 0 {
+		args = append(args, slog.Int64("suppressed", sup))
+	}
+	sl.Logger.Warn("slow span", args...)
+	return true
+}
+
+// SlowCount returns how many slow spans have been observed (logged or
+// suppressed).
+func (sl *SlowLogger) SlowCount() int64 { return sl.slow.Load() }
+
+// Sampler admits every Every-th call — the cheap gate in front of
+// hot-path instrumentation (one atomic add per call). The zero value
+// admits nothing; Every=1 admits everything.
+type Sampler struct {
+	every int64
+	n     atomic.Int64
+}
+
+// NewSampler returns a sampler admitting one call in every. every <= 0
+// disables sampling entirely (nothing admitted).
+func NewSampler(every int) *Sampler { return &Sampler{every: int64(every)} }
+
+// Sample reports whether this call is admitted.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.every <= 0 {
+		return false
+	}
+	if s.every == 1 {
+		return true
+	}
+	return s.n.Add(1)%s.every == 0
+}
+
+// Every returns the sampling period (0 = disabled).
+func (s *Sampler) Every() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.every
+}
+
+// String renders the period for logs ("1/64").
+func (s *Sampler) String() string {
+	if s == nil || s.every <= 0 {
+		return "off"
+	}
+	return "1/" + strconv.FormatInt(s.every, 10)
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanPropagation(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Fatal("empty context must have no request ID")
+	}
+	ctx, root := StartSpan(ctx, "request")
+	if len(root.ID) != 16 {
+		t.Fatalf("span ID %q: want 16 hex digits", root.ID)
+	}
+	if RequestID(ctx) != root.ID {
+		t.Fatal("RequestID must return the innermost span ID")
+	}
+	ctx2, child := StartSpan(ctx, "stage")
+	if child.Parent != root.ID {
+		t.Fatalf("child.Parent = %q, want %q", child.Parent, root.ID)
+	}
+	if SpanFromContext(ctx2) != child {
+		t.Fatal("context must carry the child span")
+	}
+	if SpanFromContext(ctx) != root {
+		t.Fatal("parent context must still carry the root span")
+	}
+	if d := root.End(); d < 0 {
+		t.Fatalf("duration %v negative", d)
+	}
+}
+
+func TestSpanIDsUnique(t *testing.T) {
+	const n = 5000
+	ids := make(chan string, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/8; i++ {
+				_, sp := StartSpan(context.Background(), "x")
+				ids <- sp.ID
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate span ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSlowLoggerThresholdAndSampling(t *testing.T) {
+	var buf bytes.Buffer
+	sl := &SlowLogger{
+		Logger:    slog.New(slog.NewTextHandler(&buf, nil)),
+		Threshold: time.Millisecond,
+		Every:     3,
+	}
+	if sl.Observe("fast", "id0", time.Microsecond) {
+		t.Fatal("fast span must not be logged")
+	}
+	logged := 0
+	for i := 0; i < 9; i++ {
+		if sl.Observe("slow", "id1", 5*time.Millisecond) {
+			logged++
+		}
+	}
+	if logged != 3 {
+		t.Fatalf("logged %d of 9 slow spans, want every 3rd = 3", logged)
+	}
+	if sl.SlowCount() != 9 {
+		t.Fatalf("SlowCount = %d, want 9", sl.SlowCount())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow span") || !strings.Contains(out, "request_id=id1") {
+		t.Fatalf("log output missing fields:\n%s", out)
+	}
+	if !strings.Contains(out, "suppressed=2") {
+		t.Fatalf("suppressed count not attached:\n%s", out)
+	}
+	var nilSL *SlowLogger
+	if nilSL.Observe("x", "y", time.Hour) {
+		t.Fatal("nil SlowLogger must be inert")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler(4)
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		if s.Sample() {
+			admitted++
+		}
+	}
+	if admitted != 25 {
+		t.Fatalf("admitted %d of 100 with period 4, want 25", admitted)
+	}
+	if !NewSampler(1).Sample() {
+		t.Fatal("period 1 must admit everything")
+	}
+	if NewSampler(0).Sample() {
+		t.Fatal("period 0 must admit nothing")
+	}
+	var nilS *Sampler
+	if nilS.Sample() {
+		t.Fatal("nil sampler must admit nothing")
+	}
+	if got := NewSampler(64).String(); got != "1/64" {
+		t.Fatalf("String = %q", got)
+	}
+}
