@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet fmt-check test race fault bench bench-smoke metrics-check experiments examples clean
+.PHONY: all build vet fmt-check test cover race fault bench bench-smoke benchdiff metrics-check experiments examples clean
 
 all: build vet fmt-check test
 
@@ -17,6 +17,11 @@ fmt-check:
 test:
 	go test ./...
 
+# Tests with a merged coverage profile (CI uploads coverage.out as an
+# artifact and prints the total).
+cover:
+	go test -coverprofile=coverage.out -coverpkg=./... ./...
+
 race:
 	go test -race ./...
 
@@ -32,6 +37,12 @@ bench:
 # that no longer compile or panic without paying for real measurement.
 bench-smoke:
 	go test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Remeasure the repair benchmarks and gate against the committed
+# baseline (the CI benchmark-regression gate, runnable locally).
+benchdiff:
+	go run ./cmd/experiments -bench-repair BENCH_repair.json
+	go run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_repair.json
 
 # Drives real traffic through an httptest server, scrapes the registry
 # the way the `-ops-addr` listener does, and validates the Prometheus
@@ -53,4 +64,4 @@ examples:
 	go run ./examples/webtables
 
 clean:
-	rm -rf results test_output.txt bench_output.txt
+	rm -rf results test_output.txt bench_output.txt coverage.out

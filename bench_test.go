@@ -8,6 +8,11 @@
 package detective_test
 
 import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"strings"
 	"testing"
 
 	"detective/internal/dataset"
@@ -223,6 +228,49 @@ func BenchmarkRepairTableParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.RepairTableParallel(inj.Dirty, 0)
+	}
+}
+
+// BenchmarkCleanCSVStreamParallel measures streaming rows/sec on the
+// duplicate-heavy bench corpus (each Nobel row repeated in a 1–8 row
+// burst) across pipeline widths. workers=1 is the serial path; wider
+// runs add the chunked pipeline's in-chunk dedup plus, on multi-core
+// machines, worker parallelism. This is the benchmark the CI
+// regression gate (cmd/benchdiff) tracks via cmd/experiments
+// -bench-repair.
+func BenchmarkCleanCSVStreamParallel(b *testing.B) {
+	bundle := dataset.NewNobel(1, 400)
+	inj := bundle.Inject(dataset.Noise{Rate: 0.30, TypoFrac: 0.5, Seed: 1})
+	corpus := dataset.DuplicateBursts(inj.Dirty, 1, 16)
+	var buf bytes.Buffer
+	if err := corpus.WriteCSV(&buf); err != nil {
+		b.Fatal(err)
+	}
+	input := buf.String()
+
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e, err := repair.NewEngineWithOptions(bundle.Rules, bundle.Yago, bundle.Schema,
+				repair.Options{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Warm()
+			b.ReportAllocs()
+			b.SetBytes(int64(len(input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := e.CleanCSVStreamContext(context.Background(),
+					strings.NewReader(input), io.Discard, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rows != corpus.Len() {
+					b.Fatalf("streamed %d of %d rows", res.Rows, corpus.Len())
+				}
+			}
+			b.ReportMetric(float64(corpus.Len()*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
 	}
 }
 

@@ -1,0 +1,133 @@
+// Command benchdiff is the CI benchmark-regression gate. It compares
+// a freshly measured repair-benchmark record (cmd/experiments
+// -bench-repair) against the committed baseline and exits non-zero
+// when any benchmark regressed beyond the threshold:
+//
+//	go run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_repair.json
+//
+// Two metrics are gated per benchmark: ns_per_op (wall time) and
+// allocs_per_op (allocation count). Allocation counts are
+// deterministic, so they catch regressions at any threshold; wall
+// time is noisy across runners, hence the default 25% slack. A
+// benchmark present in the baseline but missing from the current
+// record fails the gate — deleting a benchmark must be accompanied by
+// a baseline refresh, not silently absorbed. Benchmarks only in the
+// current record are reported but pass (the gate run that introduces
+// them also commits the refreshed baseline).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+type benchFile struct {
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func load(path string) (map[string]benchResult, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var bf benchFile
+	if err := json.NewDecoder(f).Decode(&bf); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]benchResult, len(bf.Benchmarks))
+	var names []string
+	for _, b := range bf.Benchmarks {
+		if _, dup := m[b.Name]; dup {
+			return nil, nil, fmt.Errorf("%s: duplicate benchmark %q", path, b.Name)
+		}
+		m[b.Name] = b
+		names = append(names, b.Name)
+	}
+	return m, names, nil
+}
+
+// pct is the relative change from base to cur as a percentage;
+// positive means cur is worse (slower / more allocations).
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (cur - base) / base * 100
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline record")
+	currentPath := flag.String("current", "BENCH_repair.json", "freshly measured record")
+	threshold := flag.Float64("threshold", 25, "max allowed regression percentage for ns_per_op and allocs_per_op")
+	flag.Parse()
+
+	base, _, err := load(*baselinePath)
+	fail(err)
+	cur, curNames, err := load(*currentPath)
+	fail(err)
+
+	var names []string
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-26s %14s %14s %8s %10s %10s %8s\n",
+		"benchmark", "base ns/op", "cur ns/op", "Δns%", "base allocs", "cur allocs", "Δallocs%")
+	failed := false
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("%-26s MISSING from %s — refresh the baseline when removing a benchmark\n", name, *currentPath)
+			failed = true
+			continue
+		}
+		dns := pct(b.NsPerOp, c.NsPerOp)
+		dallocs := pct(float64(b.AllocsPerOp), float64(c.AllocsPerOp))
+		status := ""
+		if dns > *threshold {
+			status = "  REGRESSION(ns/op)"
+			failed = true
+		}
+		if dallocs > *threshold {
+			status += "  REGRESSION(allocs)"
+			failed = true
+		}
+		fmt.Printf("%-26s %14.0f %14.0f %+7.1f%% %10d %10d %+7.1f%%%s\n",
+			name, b.NsPerOp, c.NsPerOp, dns, b.AllocsPerOp, c.AllocsPerOp, dallocs, status)
+	}
+	for _, name := range curNames {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("%-26s new benchmark (not in baseline) — commit a refreshed %s\n", name, *baselinePath)
+		}
+	}
+
+	if failed {
+		fmt.Printf("\nbenchdiff: FAIL (threshold %.0f%%)\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: OK (threshold %.0f%%)\n", *threshold)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

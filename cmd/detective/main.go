@@ -10,12 +10,23 @@
 // chase-style Algorithm 1 instead of the fast engine, and
 // -check-consistency verifies the Church-Rosser property on the input
 // before cleaning.
+//
+// -stream cleans row by row without materializing the table — the
+// mode for inputs larger than memory — deriving the schema from the
+// CSV header; -workers N fans the stream out over the chunked
+// parallel repair pipeline (ordered reassembly keeps the output
+// byte-identical to serial), and -chunk tunes its rows per chunk.
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"detective"
 )
@@ -32,15 +43,33 @@ func main() {
 	explain := flag.Bool("explain", false, "print each rule application with its KB witness to stderr")
 	usage := flag.Bool("usage", false, "print the per-rule usage report to stderr")
 	versions := flag.Bool("versions", false, "emit every multi-version repair fixpoint (one output row per version)")
+	stream := flag.Bool("stream", false, "clean row by row without materializing the table (bounded memory)")
+	workers := flag.Int("workers", 0, "streaming repair workers with -stream (0 or 1 = serial; >1 = parallel pipeline)")
+	chunk := flag.Int("chunk", 0, "rows per pipeline chunk with -stream -workers > 1 (0 = default)")
 	flag.Parse()
 
 	if *kbPath == "" || *rulesPath == "" || *inPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: detective -kb KB -rules RULES -in CSV [-out CSV] [-marked] [-basic] [-check-consistency]")
+		fmt.Fprintln(os.Stderr, "usage: detective -kb KB -rules RULES -in CSV [-out CSV] [-marked] [-basic] [-stream [-workers N] [-chunk N]] [-check-consistency]")
 		os.Exit(2)
 	}
 
 	g := parseKB(*kbPath)
 	rs := parseRules(*rulesPath)
+
+	if *stream {
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{{*basic, "-basic"}, {*explain, "-explain"}, {*usage, "-usage"}, {*versions, "-versions"}, {*checkConsistency, "-check-consistency"}} {
+			if f.set {
+				fmt.Fprintf(os.Stderr, "detective: %s needs the materialized table and cannot combine with -stream\n", f.name)
+				os.Exit(2)
+			}
+		}
+		streamClean(g, rs, *name, *inPath, *outPath, *marked, *workers, *chunk)
+		return
+	}
+
 	tb := readCSV(*name, *inPath)
 
 	c, err := detective.NewCleaner(rs, g, tb.Schema)
@@ -120,6 +149,51 @@ func main() {
 		fmt.Fprintf(os.Stderr, "detective: %d input tuples -> %d output rows (multi-version), %d cells marked correct\n",
 			tb.Len(), cleaned.Len(), cleaned.NumMarked())
 	}
+}
+
+// streamClean cleans inPath row by row via Cleaner.CleanCSVStream:
+// only the header is pre-read (to build the schema), so memory stays
+// bounded by the pipeline's O(workers×chunk) window regardless of the
+// input size.
+func streamClean(g *detective.KB, rs []*detective.Rule, name, inPath, outPath string, marked bool, workers, chunk int) {
+	f, err := os.Open(inPath)
+	fail(err)
+	defer f.Close()
+
+	// Peel off the header line to learn the attributes, then stitch it
+	// back so the streaming cleaner sees the full document. (A header
+	// with quoted embedded newlines would defeat ReadString; real CSV
+	// headers are single-line.)
+	br := bufio.NewReader(f)
+	header, err := br.ReadString('\n')
+	if err != nil && (err != io.EOF || header == "") {
+		fail(fmt.Errorf("reading header of %s: %w", inPath, err))
+	}
+	hr := csv.NewReader(strings.NewReader(header))
+	attrs, err := hr.Read()
+	fail(err)
+	schema := detective.NewSchema(name, attrs...)
+
+	c, err := detective.NewCleanerWithOptions(rs, g, schema,
+		detective.EngineOptions{Workers: workers, ChunkSize: chunk})
+	fail(err)
+
+	out := os.Stdout
+	if outPath != "" {
+		of, err := os.Create(outPath)
+		fail(err)
+		defer of.Close()
+		out = of
+	}
+
+	in := io.MultiReader(strings.NewReader(header), br)
+	res, err := c.CleanCSVStream(context.Background(), in, out, marked)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detective: partial result, %d rows written: %v\n", res.Rows, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "detective: %d rows streamed (%d quarantined, %d budget-degraded, %d deduped)\n",
+		res.Rows, res.Quarantined, res.BudgetExhausted, res.Deduped)
 }
 
 func parseKB(path string) *detective.KB {

@@ -50,6 +50,8 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent cleaning requests (0 = 2×GOMAXPROCS)")
 	maxBody := flag.Int64("max-body", 64<<20, "max request body bytes")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
+	streamWorkers := flag.Int("stream-workers", 0, "repair workers per /clean stream (0 or 1 = serial; >1 = chunked parallel pipeline)")
+	streamChunk := flag.Int("stream-chunk", 0, "rows per pipeline chunk when -stream-workers > 1 (0 = default)")
 	flag.Parse()
 
 	var level slog.Level
@@ -84,10 +86,12 @@ func main() {
 	schema := detective.NewSchema(*name, attrs...)
 
 	s, err := server.NewWithConfig(rs, g, schema, server.Config{
-		RequestTimeout: *reqTimeout,
-		MaxConcurrent:  *maxConcurrent,
-		MaxBodyBytes:   *maxBody,
-		Logger:         log,
+		RequestTimeout:  *reqTimeout,
+		MaxConcurrent:   *maxConcurrent,
+		MaxBodyBytes:    *maxBody,
+		Logger:          log,
+		StreamWorkers:   *streamWorkers,
+		StreamChunkSize: *streamChunk,
 	})
 	fail(log, err)
 

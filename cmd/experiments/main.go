@@ -14,11 +14,15 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"detective/internal/dataset"
@@ -238,6 +242,38 @@ func writeRepairBench(path string) error {
 				ue.RepairTableParallel(uisInj.Dirty, 0)
 			}
 		})),
+	}
+
+	// Streaming pipeline on the duplicate-heavy corpus: serial baseline
+	// and the 8-worker chunked pipeline (same corpus as
+	// BenchmarkCleanCSVStreamParallel).
+	streamNobel := dataset.NewNobel(1, 400)
+	streamInj := streamNobel.Inject(dataset.Noise{Rate: 0.30, TypoFrac: 0.5, Seed: 1})
+	corpus := dataset.DuplicateBursts(streamInj.Dirty, 1, 16)
+	var cbuf bytes.Buffer
+	if err := corpus.WriteCSV(&cbuf); err != nil {
+		return err
+	}
+	input := cbuf.String()
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"CleanCSVStreamSerial", 1}, {"CleanCSVStreamParallel8", 8}} {
+		se, err := repair.NewEngineWithOptions(streamNobel.Rules, streamNobel.Yago, streamNobel.Schema,
+			repair.Options{Workers: bench.workers})
+		if err != nil {
+			return err
+		}
+		se.Warm()
+		results = append(results, record(bench.name, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := se.CleanCSVStreamContext(context.Background(),
+					strings.NewReader(input), io.Discard, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
 	}
 
 	enc := json.NewEncoder(f)

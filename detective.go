@@ -30,6 +30,7 @@
 package detective
 
 import (
+	"context"
 	"io"
 
 	"detective/internal/consistency"
@@ -129,11 +130,24 @@ type Cleaner struct {
 // control).
 type Engine = repair.Engine
 
+// EngineOptions tunes the repair engine: the §IV-B ablation switches,
+// the per-tuple step budget, and the streaming pipeline's Workers and
+// ChunkSize. The zero value is the full fast algorithm on the serial
+// streaming path.
+type EngineOptions = repair.Options
+
 // NewCleaner validates the rules against the schema and builds the
 // fast repair engine of the paper's Algorithm 2 (rule-graph ordering,
 // signature indexes, shared computation).
 func NewCleaner(rs []*Rule, g *KB, schema *Schema) (*Cleaner, error) {
-	e, err := repair.NewEngine(rs, g, schema)
+	return NewCleanerWithOptions(rs, g, schema, EngineOptions{})
+}
+
+// NewCleanerWithOptions is NewCleaner with engine tuning — most
+// usefully EngineOptions.Workers, which fans the streaming cleaner
+// out over a chunked parallel pipeline with ordered reassembly.
+func NewCleanerWithOptions(rs []*Rule, g *KB, schema *Schema, opts EngineOptions) (*Cleaner, error) {
+	e, err := repair.NewEngineWithOptions(rs, g, schema, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -175,6 +189,22 @@ func (c *Cleaner) CleanTable(tb *Table) *Table { return c.engine.RepairTable(tb,
 // (0 = GOMAXPROCS); tuples are independent, so results are identical.
 func (c *Cleaner) CleanTableParallel(tb *Table, workers int) *Table {
 	return c.engine.RepairTableParallel(tb, workers)
+}
+
+// StreamStats is the per-call accounting of one streaming clean:
+// rows written, quarantined and budget-degraded rows, and rows
+// answered by the pipeline's in-chunk duplicate cache.
+type StreamStats = repair.StreamResult
+
+// CleanCSVStream cleans CSV row by row without materializing the
+// table; the first record must be a header matching the cleaner's
+// schema, and marked cells get a "+" suffix when marked is true. With
+// EngineOptions.Workers > 1 rows are repaired by the parallel
+// pipeline; output is byte-identical to the serial path. Mid-stream
+// failures arrive as a *repair.PartialError after everything cleaned
+// so far has been flushed to w.
+func (c *Cleaner) CleanCSVStream(ctx context.Context, r io.Reader, w io.Writer, marked bool) (StreamStats, error) {
+	return c.engine.CleanCSVStreamContext(ctx, r, w, marked)
 }
 
 // UsageReport aggregates per-rule application counts over a table.

@@ -1,0 +1,28 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"detective/internal/relation"
+)
+
+// DuplicateBursts returns a copy of tb with each row repeated in a
+// short consecutive burst of 1..maxBurst copies (uniformly drawn).
+// Real extraction pipelines emit exactly this shape — the same record
+// re-scraped from adjacent pages or near-identical list entries — and
+// it is the duplicate-heavy distribution the streaming pipeline's
+// in-chunk dedup is built for. The expected output size is
+// len(tb) × (maxBurst+1)/2 rows.
+func DuplicateBursts(tb *relation.Table, seed int64, maxBurst int) *relation.Table {
+	if maxBurst < 1 {
+		maxBurst = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := &relation.Table{Schema: tb.Schema}
+	for _, tu := range tb.Tuples {
+		for r := 1 + rng.Intn(maxBurst); r > 0; r-- {
+			out.Tuples = append(out.Tuples, tu.Clone())
+		}
+	}
+	return out
+}

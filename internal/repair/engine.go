@@ -127,6 +127,21 @@ type Options struct {
 	// generous default that no terminating rule set can hit (§III's
 	// termination analysis bounds applications by the rule count).
 	StepBudget int
+
+	// Workers selects the streaming cleaner's execution mode
+	// (CleanCSVStream / CleanCSVStreamContext). 0 or 1 keeps the
+	// serial in-place path; 2 or more fans repair out over that many
+	// workers through the chunked, order-preserving pipeline (see
+	// pipeline.go). Output is byte-identical either way. The table
+	// APIs take their worker count as an argument instead.
+	Workers int
+
+	// ChunkSize is the number of CSV rows per pipeline chunk when
+	// Workers > 1. Larger chunks amortize channel traffic and widen
+	// the in-chunk dedup window; smaller chunks bound reassembly
+	// latency. 0 picks DefaultStreamChunkSize. Ignored on the serial
+	// path.
+	ChunkSize int
 }
 
 // NewEngine validates the rules and builds matchers, the rule graph,

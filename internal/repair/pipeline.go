@@ -1,0 +1,308 @@
+// The chunked, order-preserving parallel pipeline behind the
+// streaming cleaner (Options.Workers > 1).
+//
+// Three stages connected by bounded channels:
+//
+//	reader ──chunks──▶ workers(×N) ──done──▶ reassembly
+//
+// The reader batches CSV rows into fixed-size chunks, deep-copying
+// each record out of the csv.Reader's reused buffers; workers run the
+// in-place fast repair (pooled fastState, shared candidate cache)
+// over whole chunks, deduplicating identical rows within a chunk; the
+// reassembly stage — the calling goroutine — writes chunks back in
+// input order.
+//
+// Memory is bounded to O(workers · chunk): the reader must acquire an
+// in-flight token before emitting a chunk and the reassembly stage
+// releases it only after the chunk is written, so at most maxInflight
+// chunks exist between the two at any moment, however skewed the
+// per-chunk repair times are. Because the done channel's capacity
+// equals that in-flight bound, workers never block on it, which keeps
+// the pipeline deadlock-free even when reassembly is stalled waiting
+// for the lowest outstanding sequence number.
+//
+// Per-tuple repair is independent of every other tuple (§V-B), so
+// repairing chunks out of order and reassembling by sequence number
+// yields output byte-identical to the serial path — same rows, same
+// order, same flush cadence, same PartialError semantics.
+package repair
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"detective/internal/relation"
+)
+
+// DefaultStreamChunkSize is the pipeline's default rows-per-chunk. It
+// is large enough to amortize the three channel operations a chunk
+// costs and to give the in-chunk dedup a useful window over the
+// bursty duplicate runs of real dirty data, while keeping
+// worst-case buffered memory (maxInflight chunks) small.
+const DefaultStreamChunkSize = 256
+
+// rowChunk is one unit of pipeline work: a batch of deep-copied input
+// rows, and after a worker has processed it, the formatted output
+// rows plus the outcome tallies for the batch.
+type rowChunk struct {
+	seq  int        // position in the input stream, 0-based
+	rows [][]string // deep-copied input records
+	out  [][]string // formatted output rows (worker-filled)
+
+	quarantined int
+	budget      int
+	deduped     int
+}
+
+// cleanStreamParallel drives the pipeline over an already-validated
+// CSV stream. The header has been written to cw and cr has
+// ReuseRecord set; arity is the schema arity.
+func (e *Engine) cleanStreamParallel(ctx context.Context, cr *csv.Reader, cw *csv.Writer, arity int, marked bool) (StreamResult, error) {
+	var res StreamResult
+	workers := e.opts.Workers
+	chunkSize := e.opts.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = DefaultStreamChunkSize
+	}
+	// Enough slack that a straggler chunk does not idle the other
+	// workers, but small enough that buffered rows stay O(workers·chunk).
+	maxInflight := 2*workers + 2
+
+	// pctx cancels the producer side when reassembly hits a write
+	// error; user cancellation flows through it too.
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	chunks := make(chan *rowChunk, workers)    // reader -> workers
+	done := make(chan *rowChunk, maxInflight)  // workers -> reassembly; never blocks (cap = in-flight bound)
+	tokens := make(chan struct{}, maxInflight) // in-flight chunk budget
+	var readErr error                          // reader's terminal error; published by close(chunks)
+
+	// --- reader stage -------------------------------------------------
+	go func() {
+		defer close(chunks)
+		seq := 0
+		cur := &rowChunk{seq: seq, rows: make([][]string, 0, chunkSize)}
+		send := func(c *rowChunk) bool {
+			select {
+			case tokens <- struct{}{}:
+			case <-pctx.Done():
+				return false
+			}
+			select {
+			case chunks <- c:
+				return true
+			case <-pctx.Done():
+				return false
+			}
+		}
+		for lineno := 2; ; lineno++ {
+			if pctx.Err() != nil {
+				// User cancellation is reported by reassembly (it
+				// re-checks ctx); a write-error cancel keeps the write
+				// error. Either way the reader just stops producing.
+				break
+			}
+			rec, err := cr.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				readErr = fmt.Errorf("repair: reading CSV: %w", err)
+				break
+			}
+			if len(rec) != arity {
+				readErr = fmt.Errorf("repair: CSV line %d has %d fields, want %d", lineno, len(rec), arity)
+				break
+			}
+			// Deep copy before the row crosses the chunk channel:
+			// with ReuseRecord both the record slice and the string
+			// bytes alias the reader's internal buffer, which the next
+			// Read overwrites.
+			row := make([]string, arity)
+			for i, v := range rec {
+				row[i] = strings.Clone(v)
+			}
+			cur.rows = append(cur.rows, row)
+			if len(cur.rows) == chunkSize {
+				if !send(cur) {
+					return
+				}
+				seq++
+				cur = &rowChunk{seq: seq, rows: make([][]string, 0, chunkSize)}
+			}
+		}
+		// Rows read before a mid-stream failure still get cleaned and
+		// flushed, exactly like the serial path.
+		if len(cur.rows) > 0 {
+			send(cur)
+		}
+	}()
+
+	// --- worker stage -------------------------------------------------
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range chunks {
+				e.repairChunk(c, marked)
+				done <- c
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// --- reassembly stage (calling goroutine) -------------------------
+	partial := func(err error) (StreamResult, error) {
+		cw.Flush()
+		return res, &PartialError{Done: res.Rows, Err: err}
+	}
+	writeChunk := func(c *rowChunk) error {
+		for _, row := range c.out {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+			res.Rows++
+			if res.Rows%flushEvery == 0 {
+				cw.Flush()
+				if err := cw.Error(); err != nil {
+					return err
+				}
+			}
+		}
+		res.Quarantined += c.quarantined
+		res.BudgetExhausted += c.budget
+		res.Deduped += c.deduped
+		return nil
+	}
+	next := 0
+	pending := make(map[int]*rowChunk, maxInflight)
+	var werr error
+	for c := range done {
+		pending[c.seq] = c
+		for werr == nil {
+			nc, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if err := writeChunk(nc); err != nil {
+				werr = err
+				// Stop the reader; in-flight chunks drain into the
+				// buffered done channel without blocking anyone.
+				cancel()
+				break
+			}
+			<-tokens
+		}
+		if werr != nil {
+			break
+		}
+	}
+	if werr != nil {
+		return partial(werr)
+	}
+	if readErr != nil {
+		// close(chunks) happened after readErr was set and the workers
+		// finished every chunk before done closed, so the read is safe
+		// and every row before the failure has been written.
+		return partial(readErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return partial(err)
+	}
+	cw.Flush()
+	return res, cw.Error()
+}
+
+// repairChunk repairs every row of c in place of the worker's pooled
+// state and renders the formatted output rows. Identical rows within
+// the chunk are repaired once: repair is a pure function of the row's
+// values (the engine is read-only and deterministic), so the first
+// occurrence's output and outcome stand in for its duplicates — the
+// duplicate-heavy distributions of the eval datasets make this a
+// large win. Outcome tallies count every row, duplicates included, so
+// the stream's accounting matches the serial path.
+func (e *Engine) repairChunk(c *rowChunk, marked bool) {
+	type dedupEntry struct {
+		out []string
+		oc  tupleOutcome
+	}
+	arity := 0
+	if len(c.rows) > 0 {
+		arity = len(c.rows[0])
+	}
+	var dedup map[string]dedupEntry
+	if len(c.rows) > 1 {
+		dedup = make(map[string]dedupEntry, len(c.rows))
+	}
+	tup := &relation.Tuple{
+		Values: make([]string, arity),
+		Marked: make([]bool, arity),
+	}
+	c.out = make([][]string, len(c.rows))
+	var key strings.Builder
+	for i, rec := range c.rows {
+		var k string
+		if dedup != nil {
+			// Length-prefixed fingerprint: unambiguous for any cell
+			// bytes, cheaper than hashing each field separately.
+			key.Reset()
+			for _, v := range rec {
+				key.WriteString(strconv.Itoa(len(v)))
+				key.WriteByte(':')
+				key.WriteString(v)
+			}
+			k = key.String()
+			if ent, ok := dedup[k]; ok {
+				c.out[i] = ent.out
+				tallyChunkOutcome(c, ent.oc)
+				c.deduped++
+				// Duplicates still count as processed tuples in the
+				// engine's lifetime and telemetry counters.
+				e.count(ent.oc, nil)
+				e.instr.streamDeduped.Inc()
+				continue
+			}
+		}
+		copy(tup.Values, rec)
+		for j := range tup.Marked {
+			tup.Marked[j] = false
+		}
+		oc := e.repairRowSafe(tup)
+		if oc != tupleOK {
+			// Keep-original-value, as on the serial path.
+			copy(tup.Values, rec)
+			for j := range tup.Marked {
+				tup.Marked[j] = false
+			}
+		}
+		out := make([]string, arity)
+		formatRow(out, tup, marked)
+		c.out[i] = out
+		tallyChunkOutcome(c, oc)
+		if dedup != nil {
+			dedup[k] = dedupEntry{out: out, oc: oc}
+		}
+	}
+	e.instr.streamChunks.Inc()
+}
+
+func tallyChunkOutcome(c *rowChunk, oc tupleOutcome) {
+	switch oc {
+	case tupleQuarantined:
+		c.quarantined++
+	case tupleBudgetExhausted:
+		c.budget++
+	}
+}

@@ -1,0 +1,298 @@
+package repair_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"detective/internal/dataset"
+	"detective/internal/faultinject"
+	"detective/internal/kb"
+	"detective/internal/relation"
+	"detective/internal/repair"
+	"detective/internal/rules"
+)
+
+// streamCase is one (rules, KB, schema) triple plus a dirty CSV input
+// the serial/parallel equivalence is checked over.
+type streamCase struct {
+	name   string
+	rules  []*rules.DR
+	kb     *kb.Graph
+	schema *relation.Schema
+	input  string
+}
+
+func tableCSV(t *testing.T, tb *relation.Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func streamCases(t *testing.T) []streamCase {
+	t.Helper()
+	var cases []streamCase
+
+	ex := dataset.NewPaperExample()
+	cases = append(cases, streamCase{"paper-example", ex.Rules, ex.KB, ex.Schema, tableCSV(t, ex.Dirty)})
+
+	nb := dataset.NewNobel(3, 150)
+	nbInj := nb.Inject(dataset.Noise{Rate: 0.15, TypoFrac: 0.5, Seed: 3})
+	cases = append(cases, streamCase{"nobel-seed3", nb.Rules, nb.Yago, nb.Schema, tableCSV(t, nbInj.Dirty)})
+
+	uis := dataset.NewUIS(7, 250)
+	uisInj := uis.Inject(dataset.Noise{Rate: 0.12, TypoFrac: 0.3, Seed: 7})
+	cases = append(cases, streamCase{"uis-seed7", uis.Rules, uis.Yago, uis.Schema, tableCSV(t, uisInj.Dirty)})
+
+	return cases
+}
+
+// cleanStream runs one streaming clean with the given options and
+// returns the output bytes and accounting.
+func cleanStream(t *testing.T, tc streamCase, opts repair.Options, marked bool) (string, repair.StreamResult, error) {
+	t.Helper()
+	e, err := repair.NewEngineWithOptions(tc.rules, tc.kb, tc.schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	res, serr := e.CleanCSVStreamContext(context.Background(), strings.NewReader(tc.input), &out, marked)
+	return out.String(), res, serr
+}
+
+// TestStreamParallelMatchesSerial is the pipeline's core contract:
+// for any worker count and chunk size, the parallel streaming cleaner
+// must produce byte-identical output — values, marks, row order — and
+// the same accounting as the serial path, because tuples are repaired
+// independently (§V-B) and chunks are reassembled in sequence order.
+func TestStreamParallelMatchesSerial(t *testing.T) {
+	for _, tc := range streamCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			want, wantRes, err := cleanStream(t, tc, repair.Options{}, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				for _, chunk := range []int{0, 1, 3, 64} {
+					got, gotRes, err := cleanStream(t, tc,
+						repair.Options{Workers: workers, ChunkSize: chunk}, true)
+					if err != nil {
+						t.Fatalf("workers=%d chunk=%d: %v", workers, chunk, err)
+					}
+					if got != want {
+						t.Fatalf("workers=%d chunk=%d: output differs from serial\nserial:\n%s\nparallel:\n%s",
+							workers, chunk, want, got)
+					}
+					if gotRes.Rows != wantRes.Rows ||
+						gotRes.Quarantined != wantRes.Quarantined ||
+						gotRes.BudgetExhausted != wantRes.BudgetExhausted {
+						t.Fatalf("workers=%d chunk=%d: result %+v, serial %+v",
+							workers, chunk, gotRes, wantRes)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamParallelStepBudgetMatchesSerial pins the degrade path: a
+// starved step budget must keep-original-value identically in both
+// modes.
+func TestStreamParallelStepBudgetMatchesSerial(t *testing.T) {
+	tc := streamCases(t)[0]
+	want, wantRes, err := cleanStream(t, tc, repair.Options{StepBudget: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantRes.BudgetExhausted == 0 {
+		t.Fatal("test expects the starved budget to exhaust at least one row")
+	}
+	got, gotRes, err := cleanStream(t, tc, repair.Options{StepBudget: 1, Workers: 4, ChunkSize: 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || gotRes.BudgetExhausted != wantRes.BudgetExhausted {
+		t.Fatalf("parallel degrade differs: res=%+v want %+v\n%s", gotRes, wantRes, got)
+	}
+}
+
+// TestStreamParallelDedup feeds a duplicate-heavy stream (each source
+// row repeated in a burst, as in the UIS-style duplicate generators)
+// and checks that the in-chunk dedup both fires and stays invisible in
+// the output.
+func TestStreamParallelDedup(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	dup := &relation.Table{Schema: ex.Schema}
+	for _, tu := range ex.Dirty.Tuples {
+		for r := 0; r < 5; r++ {
+			dup.Tuples = append(dup.Tuples, tu.Clone())
+		}
+	}
+	tc := streamCase{"dup", ex.Rules, ex.KB, ex.Schema, tableCSV(t, dup)}
+
+	want, wantRes, err := cleanStream(t, tc, repair.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotRes, err := cleanStream(t, tc, repair.Options{Workers: 2, ChunkSize: 64}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("deduped output differs from serial:\n%s\nwant:\n%s", got, want)
+	}
+	if gotRes.Rows != wantRes.Rows {
+		t.Fatalf("Rows = %d, want %d", gotRes.Rows, wantRes.Rows)
+	}
+	// 5 copies of each of 4 rows in one 64-row chunk: 16 dedup hits.
+	if gotRes.Deduped != 16 {
+		t.Errorf("Deduped = %d, want 16", gotRes.Deduped)
+	}
+	if wantRes.Deduped != 0 {
+		t.Errorf("serial Deduped = %d, want 0", wantRes.Deduped)
+	}
+}
+
+// TestStreamParallelDeepCopiesRecords is the aliasing regression test
+// for the reader stage. The csv.Reader runs with ReuseRecord, so both
+// the record slice and its string bytes are overwritten by the next
+// Read; rows must be deep-copied before crossing the chunk channel.
+// With the copy removed, the reader races ahead of the workers
+// (chunk=1 forces a row per channel hop) and earlier rows are observed
+// mutated, so the output diverges from the serial reference on
+// essentially every run.
+func TestStreamParallelDeepCopiesRecords(t *testing.T) {
+	nb := dataset.NewNobel(9, 400)
+	inj := nb.Inject(dataset.Noise{Rate: 0.2, TypoFrac: 0.5, Seed: 9})
+	tc := streamCase{"nobel-400", nb.Rules, nb.Yago, nb.Schema, tableCSV(t, inj.Dirty)}
+
+	want, _, err := cleanStream(t, tc, repair.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := cleanStream(t, tc, repair.Options{Workers: 4, ChunkSize: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != inj.Dirty.Len() {
+		t.Fatalf("Rows = %d, want %d", res.Rows, inj.Dirty.Len())
+	}
+	if got != want {
+		// Pinpoint the first corrupted line for the failure message.
+		gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+		for i := range wl {
+			if i >= len(gl) || gl[i] != wl[i] {
+				t.Fatalf("line %d mutated after crossing the chunk channel:\n got %q\nwant %q", i, gl[i], wl[i])
+			}
+		}
+		t.Fatal("parallel output differs from serial")
+	}
+}
+
+// TestStreamParallelReaderError checks mid-stream input failures: all
+// rows before the bad record are cleaned, flushed and counted, and the
+// error arrives as a *PartialError naming the offending line — the
+// same contract as the serial path.
+func TestStreamParallelReaderError(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	input := tableCSV(t, ex.Dirty) + "only,three,fields\n"
+	tc := streamCase{"short-record", ex.Rules, ex.KB, ex.Schema, input}
+
+	want, wantRes, wantErr := cleanStream(t, tc, repair.Options{}, true)
+	if wantErr == nil {
+		t.Fatal("serial: want error for short record")
+	}
+	got, gotRes, err := cleanStream(t, tc, repair.Options{Workers: 3, ChunkSize: 2}, true)
+	var pe *repair.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("line %d", ex.Dirty.Len()+2)) {
+		t.Errorf("error %q does not name the offending line", err)
+	}
+	if pe.Done != ex.Dirty.Len() || gotRes.Rows != ex.Dirty.Len() {
+		t.Errorf("Done = %d, Rows = %d, want %d", pe.Done, gotRes.Rows, ex.Dirty.Len())
+	}
+	if got != want || gotRes.Rows != wantRes.Rows {
+		t.Errorf("partial output differs from serial:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestStreamParallelWriterError checks mid-stream sink failures: the
+// pipeline cancels its producer side and reports a *PartialError whose
+// Done matches what actually reached the sink's accepted writes.
+func TestStreamParallelWriterError(t *testing.T) {
+	nb := dataset.NewNobel(5, 300)
+	inj := nb.Inject(dataset.Noise{Rate: 0.1, TypoFrac: 0.5, Seed: 5})
+	e, err := repair.NewEngineWithOptions(nb.Rules, nb.Yago, nb.Schema,
+		repair.Options{Workers: 4, ChunkSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in bytes.Buffer
+	if err := inj.Dirty.WriteCSV(&in); err != nil {
+		t.Fatal(err)
+	}
+	w := &faultinject.Writer{FailAfter: 2}
+	_, serr := e.CleanCSVStreamContext(context.Background(), &in, w, false)
+	var pe *repair.PartialError
+	if !errors.As(serr, &pe) || !errors.Is(serr, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want *PartialError wrapping ErrInjected", serr)
+	}
+}
+
+// TestStreamParallelCancel checks that a pre-cancelled context stops
+// the pipeline before any row is emitted, with the header already
+// written — matching the serial contract.
+func TestStreamParallelCancel(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	e, err := repair.NewEngineWithOptions(ex.Rules, ex.KB, ex.Schema,
+		repair.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in, out bytes.Buffer
+	if err := ex.Dirty.WriteCSV(&in); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, serr := e.CleanCSVStreamContext(ctx, &in, &out, false)
+	var pe *repair.PartialError
+	if !errors.As(serr, &pe) || !errors.Is(serr, context.Canceled) {
+		t.Fatalf("err = %v, want *PartialError wrapping context.Canceled", serr)
+	}
+	if res.Rows != 0 {
+		t.Errorf("Rows = %d, want 0", res.Rows)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "Name,") {
+		t.Errorf("partial output = %q, want header only", out.String())
+	}
+}
+
+// TestStreamParallelEmptyInput: a header-only stream must produce a
+// header-only output and no error in both modes.
+func TestStreamParallelEmptyInput(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	tc := streamCase{"empty", ex.Rules, ex.KB, ex.Schema,
+		strings.Join(ex.Schema.Attrs, ",") + "\n"}
+	for _, opts := range []repair.Options{{}, {Workers: 4}} {
+		out, res, err := cleanStream(t, tc, opts, true)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", opts.Workers, err)
+		}
+		if res.Rows != 0 {
+			t.Errorf("workers=%d: Rows = %d, want 0", opts.Workers, res.Rows)
+		}
+		if strings.TrimSpace(out) != strings.Join(ex.Schema.Attrs, ",") {
+			t.Errorf("workers=%d: output = %q", opts.Workers, out)
+		}
+	}
+}

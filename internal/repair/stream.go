@@ -26,6 +26,11 @@ type StreamResult struct {
 	// BudgetExhausted counts rows that exceeded the fixpoint step
 	// budget and were emitted unchanged.
 	BudgetExhausted int
+	// Deduped counts rows whose repair was answered by an identical
+	// row earlier in the same pipeline chunk instead of being
+	// recomputed. Always 0 on the serial path. Deduped rows are still
+	// counted in Rows and in the outcome tallies above.
+	Deduped int
 }
 
 // CleanCSVStream cleans CSV row by row without materializing the
@@ -47,6 +52,10 @@ func (e *Engine) CleanCSVStream(r io.Reader, w io.Writer, marked bool) (int, err
 // validation errors are returned plain (nothing was written). A row
 // whose repair panics or exhausts the step budget is emitted
 // unchanged and tallied, not treated as a failure.
+//
+// With Options.Workers > 1 the rows are repaired by the chunked
+// parallel pipeline (see pipeline.go); the output bytes, the flush
+// cadence and the error semantics are identical to the serial path.
 func (e *Engine) CleanCSVStreamContext(ctx context.Context, r io.Reader, w io.Writer, marked bool) (StreamResult, error) {
 	var res StreamResult
 	cr := csv.NewReader(r)
@@ -69,6 +78,22 @@ func (e *Engine) CleanCSVStreamContext(ctx context.Context, r io.Reader, w io.Wr
 	if err := cw.Write(header); err != nil {
 		return res, err
 	}
+	// Steady-state cleaning reuses the reader's record buffer; the
+	// serial path consumes each record before the next read, and the
+	// parallel reader stage deep-copies rows before they cross the
+	// chunk channel.
+	cr.ReuseRecord = true
+	if e.opts.Workers > 1 {
+		return e.cleanStreamParallel(ctx, cr, cw, len(header), marked)
+	}
+	return e.cleanStreamSerial(ctx, cr, cw, len(header), marked)
+}
+
+// cleanStreamSerial is the single-core streaming path: one record, one
+// tuple, and the engine's pooled repair state are reused, so the only
+// per-row allocations left are the rewritten cell values themselves.
+func (e *Engine) cleanStreamSerial(ctx context.Context, cr *csv.Reader, cw *csv.Writer, arity int, marked bool) (StreamResult, error) {
+	var res StreamResult
 	// partial wraps a mid-stream failure: everything written so far is
 	// pushed through to the sink first, so the error's Done count is
 	// also the number of rows the consumer actually received.
@@ -76,14 +101,10 @@ func (e *Engine) CleanCSVStreamContext(ctx context.Context, r io.Reader, w io.Wr
 		cw.Flush()
 		return res, &PartialError{Done: res.Rows, Err: err}
 	}
-	// Steady-state cleaning reuses one record, one tuple, and the
-	// engine's pooled repair state: the only per-row allocations left
-	// are the rewritten cell values themselves.
-	cr.ReuseRecord = true
-	out := make([]string, len(header))
+	out := make([]string, arity)
 	tup := &relation.Tuple{
-		Values: make([]string, len(header)),
-		Marked: make([]bool, len(header)),
+		Values: make([]string, arity),
+		Marked: make([]bool, arity),
 	}
 	for lineno := 2; ; lineno++ {
 		if err := ctx.Err(); err != nil {
@@ -96,8 +117,8 @@ func (e *Engine) CleanCSVStreamContext(ctx context.Context, r io.Reader, w io.Wr
 		if err != nil {
 			return partial(fmt.Errorf("repair: reading CSV: %w", err))
 		}
-		if len(rec) != len(header) {
-			return partial(fmt.Errorf("repair: CSV line %d has %d fields, want %d", lineno, len(rec), len(header)))
+		if len(rec) != arity {
+			return partial(fmt.Errorf("repair: CSV line %d has %d fields, want %d", lineno, len(rec), arity))
 		}
 		copy(tup.Values, rec)
 		for i := range tup.Marked {
@@ -118,13 +139,7 @@ func (e *Engine) CleanCSVStreamContext(ctx context.Context, r io.Reader, w io.Wr
 				res.BudgetExhausted++
 			}
 		}
-		for i, v := range tup.Values {
-			if marked && tup.Marked[i] {
-				out[i] = v + "+"
-			} else {
-				out[i] = v
-			}
-		}
+		formatRow(out, tup, marked)
 		if err := cw.Write(out); err != nil {
 			return partial(err)
 		}
@@ -138,6 +153,18 @@ func (e *Engine) CleanCSVStreamContext(ctx context.Context, r io.Reader, w io.Wr
 	}
 	cw.Flush()
 	return res, cw.Error()
+}
+
+// formatRow renders a repaired tuple into dst, applying the "+" mark
+// suffix when marked is set.
+func formatRow(dst []string, tup *relation.Tuple, marked bool) {
+	for i, v := range tup.Values {
+		if marked && tup.Marked[i] {
+			dst[i] = v + "+"
+		} else {
+			dst[i] = v
+		}
+	}
 }
 
 // repairRowSafe runs the in-place repair under a panic quarantine and

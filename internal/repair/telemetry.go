@@ -36,6 +36,12 @@ type engineInstr struct {
 
 	// outcomes is indexed by tupleOutcome and counted on every tuple.
 	outcomes [3]*telemetry.Counter
+
+	// streamChunks counts chunks processed by the parallel streaming
+	// pipeline; streamDeduped counts rows answered by the in-chunk
+	// dedup instead of a fresh repair.
+	streamChunks  *telemetry.Counter
+	streamDeduped *telemetry.Counter
 }
 
 // newEngineInstr builds the engine's collectors against the default
@@ -73,6 +79,10 @@ func newEngineInstr(sampleEvery int) *engineInstr {
 		"Tuples repaired, by outcome.", telemetry.Label{Name: "outcome", Value: "budget_exhausted"})
 	in.outcomes[tupleQuarantined] = reg.Counter("detective_repair_tuples_total",
 		"Tuples repaired, by outcome.", telemetry.Label{Name: "outcome", Value: "quarantined"})
+	in.streamChunks = reg.Counter("detective_stream_chunks_total",
+		"Chunks processed by the parallel streaming pipeline.")
+	in.streamDeduped = reg.Counter("detective_stream_dedup_rows_total",
+		"Streamed rows answered by the in-chunk duplicate cache instead of a fresh repair.")
 	return in
 }
 

@@ -18,7 +18,10 @@
 // concurrency limit that sheds overload with 429 + Retry-After, and
 // every per-tuple failure (panic, step-budget exhaustion) is
 // quarantined by the engine instead of failing the request. Errors are
-// JSON envelopes: {"error":{"status":...,"message":...}}.
+// JSON envelopes: {"error":{"status":...,"message":...}}. With
+// Config.StreamWorkers > 1, each /clean request's rows are repaired by
+// the chunked parallel pipeline with ordered reassembly — same output
+// bytes, more cores per stream.
 //
 // Every route is instrumented through internal/telemetry: per-route
 // request counters and latency histograms, an in-flight gauge,
@@ -78,6 +81,16 @@ type Config struct {
 	// SlowRequestThreshold is the latency above which a request is
 	// logged as slow (sampled, with its request ID). Default 5s.
 	SlowRequestThreshold time.Duration
+	// StreamWorkers fans each POST /clean request's repair work out
+	// over this many pipeline workers (repair.Options.Workers). 0 or 1
+	// keeps the serial per-request path — the right default when the
+	// server is already saturated by MaxConcurrent parallel requests;
+	// raise it when individual large streams need to finish faster
+	// than one core allows. Output is byte-identical either way.
+	StreamWorkers int
+	// StreamChunkSize is the rows-per-chunk of the streaming pipeline
+	// when StreamWorkers > 1. 0 picks repair.DefaultStreamChunkSize.
+	StreamChunkSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,13 +142,16 @@ func New(drs []*rules.DR, g *kb.Graph, schema *relation.Schema) (*Server, error)
 
 // NewWithConfig is New with explicit fault-tolerance settings.
 func NewWithConfig(drs []*rules.DR, g *kb.Graph, schema *relation.Schema, cfg Config) (*Server, error) {
-	e, err := repair.NewEngine(drs, g, schema)
+	cfg = cfg.withDefaults()
+	e, err := repair.NewEngineWithOptions(drs, g, schema, repair.Options{
+		Workers:   cfg.StreamWorkers,
+		ChunkSize: cfg.StreamChunkSize,
+	})
 	if err != nil {
 		return nil, err
 	}
 	e.Warm()
 	g.Freeze()
-	cfg = cfg.withDefaults()
 	s := &Server{
 		engine: e,
 		kbase:  g,
