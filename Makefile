@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet fmt-check test cover race fault bench bench-smoke benchdiff metrics-check experiments examples clean
+.PHONY: all build vet fmt-check test cover race fault bench bench-smoke benchdiff snapshot-check metrics-check experiments examples clean
 
 all: build vet fmt-check test
 
@@ -43,6 +43,19 @@ bench-smoke:
 benchdiff:
 	go run ./cmd/experiments -bench-repair BENCH_repair.json
 	go run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_repair.json
+
+# Snapshot golden gate: packing the checked-in sample KB must be
+# byte-deterministic, and unpacking the snapshot must round-trip to
+# the canonical text source byte-for-byte.
+snapshot-check:
+	@tmp="$$(mktemp -d)" && \
+	go run ./cmd/kbtool pack testdata/sample_kb.nt "$$tmp/a.snap" && \
+	go run ./cmd/kbtool pack testdata/sample_kb.nt "$$tmp/b.snap" && \
+	cmp "$$tmp/a.snap" "$$tmp/b.snap" && \
+	go run ./cmd/kbtool unpack "$$tmp/a.snap" "$$tmp/roundtrip.nt" && \
+	cmp "$$tmp/roundtrip.nt" testdata/sample_kb.nt && \
+	go run ./cmd/kbtool verify "$$tmp/a.snap" && \
+	rm -rf "$$tmp" && echo "snapshot-check: OK"
 
 # Drives real traffic through an httptest server, scrapes the registry
 # the way the `-ops-addr` listener does, and validates the Prometheus

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -70,16 +71,20 @@ func pct(base, cur float64) float64 {
 	return (cur - base) / base * 100
 }
 
-func main() {
-	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline record")
-	currentPath := flag.String("current", "BENCH_repair.json", "freshly measured record")
-	threshold := flag.Float64("threshold", 25, "max allowed regression percentage for ns_per_op and allocs_per_op")
-	flag.Parse()
-
-	base, _, err := load(*baselinePath)
-	fail(err)
-	cur, curNames, err := load(*currentPath)
-	fail(err)
+// run compares the two records and writes the report to w; it returns
+// (failed, error) so the gate decision is testable apart from the
+// process exit. Benchmarks only in the current record are reported as
+// new and do NOT fail the gate — the change introducing a benchmark
+// cannot have it in the committed baseline yet.
+func run(baselinePath, currentPath string, threshold float64, w io.Writer) (bool, error) {
+	base, _, err := load(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	cur, curNames, err := load(currentPath)
+	if err != nil {
+		return false, err
+	}
 
 	var names []string
 	for name := range base {
@@ -87,42 +92,56 @@ func main() {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("%-26s %14s %14s %8s %10s %10s %8s\n",
+	fmt.Fprintf(w, "%-26s %14s %14s %8s %10s %10s %8s\n",
 		"benchmark", "base ns/op", "cur ns/op", "Δns%", "base allocs", "cur allocs", "Δallocs%")
 	failed := false
 	for _, name := range names {
 		b := base[name]
 		c, ok := cur[name]
 		if !ok {
-			fmt.Printf("%-26s MISSING from %s — refresh the baseline when removing a benchmark\n", name, *currentPath)
+			fmt.Fprintf(w, "%-26s MISSING from %s — refresh the baseline when removing a benchmark\n", name, currentPath)
 			failed = true
 			continue
 		}
 		dns := pct(b.NsPerOp, c.NsPerOp)
 		dallocs := pct(float64(b.AllocsPerOp), float64(c.AllocsPerOp))
 		status := ""
-		if dns > *threshold {
+		if dns > threshold {
 			status = "  REGRESSION(ns/op)"
 			failed = true
 		}
-		if dallocs > *threshold {
+		if dallocs > threshold {
 			status += "  REGRESSION(allocs)"
 			failed = true
 		}
-		fmt.Printf("%-26s %14.0f %14.0f %+7.1f%% %10d %10d %+7.1f%%%s\n",
+		fmt.Fprintf(w, "%-26s %14.0f %14.0f %+7.1f%% %10d %10d %+7.1f%%%s\n",
 			name, b.NsPerOp, c.NsPerOp, dns, b.AllocsPerOp, c.AllocsPerOp, dallocs, status)
 	}
 	for _, name := range curNames {
 		if _, ok := base[name]; !ok {
-			fmt.Printf("%-26s new benchmark (not in baseline) — commit a refreshed %s\n", name, *baselinePath)
+			fmt.Fprintf(w, "%-26s new benchmark (not in baseline) — commit a refreshed %s\n", name, baselinePath)
 		}
 	}
 
 	if failed {
-		fmt.Printf("\nbenchdiff: FAIL (threshold %.0f%%)\n", *threshold)
+		fmt.Fprintf(w, "\nbenchdiff: FAIL (threshold %.0f%%)\n", threshold)
+	} else {
+		fmt.Fprintf(w, "\nbenchdiff: OK (threshold %.0f%%)\n", threshold)
+	}
+	return failed, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline record")
+	currentPath := flag.String("current", "BENCH_repair.json", "freshly measured record")
+	threshold := flag.Float64("threshold", 25, "max allowed regression percentage for ns_per_op and allocs_per_op")
+	flag.Parse()
+
+	failed, err := run(*baselinePath, *currentPath, *threshold, os.Stdout)
+	fail(err)
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("\nbenchdiff: OK (threshold %.0f%%)\n", *threshold)
 }
 
 func fail(err error) {

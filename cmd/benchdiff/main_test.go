@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRecord(t *testing.T, dir, name string, benches []benchResult) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	b, err := json.Marshal(benchFile{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunNewBenchmarkPasses(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeRecord(t, dir, "base.json", []benchResult{
+		{Name: "FastRepair", NsPerOp: 1000, AllocsPerOp: 10},
+	})
+	current := writeRecord(t, dir, "cur.json", []benchResult{
+		{Name: "FastRepair", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "KBLoadSnapshot", NsPerOp: 500, AllocsPerOp: 5},
+	})
+	var out strings.Builder
+	failed, err := run(baseline, current, 25, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("gate failed on a benchmark new in the current record:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "KBLoadSnapshot") || !strings.Contains(out.String(), "new benchmark") {
+		t.Fatalf("new benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestRunMissingBenchmarkFails(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeRecord(t, dir, "base.json", []benchResult{
+		{Name: "FastRepair", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "Deleted", NsPerOp: 10, AllocsPerOp: 1},
+	})
+	current := writeRecord(t, dir, "cur.json", []benchResult{
+		{Name: "FastRepair", NsPerOp: 1000, AllocsPerOp: 10},
+	})
+	var out strings.Builder
+	failed, err := run(baseline, current, 25, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("gate passed with a baseline benchmark missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Fatalf("missing benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestRunRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeRecord(t, dir, "base.json", []benchResult{
+		{Name: "FastRepair", NsPerOp: 1000, AllocsPerOp: 10},
+	})
+	current := writeRecord(t, dir, "cur.json", []benchResult{
+		{Name: "FastRepair", NsPerOp: 2000, AllocsPerOp: 10},
+	})
+	var out strings.Builder
+	failed, err := run(baseline, current, 25, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("gate passed a 100%% ns/op regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION(ns/op)") {
+		t.Fatalf("regression not flagged:\n%s", out.String())
+	}
+
+	// Within threshold: passes.
+	current2 := writeRecord(t, dir, "cur2.json", []benchResult{
+		{Name: "FastRepair", NsPerOp: 1100, AllocsPerOp: 10},
+	})
+	out.Reset()
+	failed, err = run(baseline, current2, 25, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("gate failed a 10%% change under a 25%% threshold:\n%s", out.String())
+	}
+}

@@ -20,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/csv"
 	"flag"
@@ -162,11 +163,11 @@ func streamClean(g *detective.KB, rs []*detective.Rule, name, inPath, outPath st
 
 	// Peel off the header line to learn the attributes, then stitch it
 	// back so the streaming cleaner sees the full document. (A header
-	// with quoted embedded newlines would defeat ReadString; real CSV
-	// headers are single-line.)
+	// with quoted embedded newlines would defeat the line split; real
+	// CSV headers are single-line.)
 	br := bufio.NewReader(f)
-	header, err := br.ReadString('\n')
-	if err != nil && (err != io.EOF || header == "") {
+	header, err := readHeader(br)
+	if err != nil {
 		fail(fmt.Errorf("reading header of %s: %w", inPath, err))
 	}
 	hr := csv.NewReader(strings.NewReader(header))
@@ -186,7 +187,7 @@ func streamClean(g *detective.KB, rs []*detective.Rule, name, inPath, outPath st
 		out = of
 	}
 
-	in := io.MultiReader(strings.NewReader(header), br)
+	in := io.MultiReader(strings.NewReader(header+"\n"), br)
 	res, err := c.CleanCSVStream(context.Background(), in, out, marked)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "detective: partial result, %d rows written: %v\n", res.Rows, err)
@@ -194,6 +195,45 @@ func streamClean(g *detective.KB, rs []*detective.Rule, name, inPath, outPath st
 	}
 	fmt.Fprintf(os.Stderr, "detective: %d rows streamed (%d quarantined, %d budget-degraded, %d deduped)\n",
 		res.Rows, res.Quarantined, res.BudgetExhausted, res.Deduped)
+}
+
+// utf8BOM is the byte order mark spreadsheet exports prepend to CSV.
+var utf8BOM = []byte{0xEF, 0xBB, 0xBF}
+
+// readHeader peels the first line off br without its terminator,
+// tolerating a UTF-8 BOM (which would otherwise end up inside the
+// first attribute name) and CR-only line endings (where scanning for
+// '\n' would swallow the whole file as one "header").
+func readHeader(br *bufio.Reader) (string, error) {
+	if b, err := br.Peek(len(utf8BOM)); err == nil && bytes.Equal(b, utf8BOM) {
+		_, _ = br.Discard(len(utf8BOM))
+	}
+	var sb strings.Builder
+	for {
+		c, err := br.ReadByte()
+		if err == io.EOF {
+			if sb.Len() == 0 {
+				return "", io.ErrUnexpectedEOF
+			}
+			return sb.String(), nil
+		}
+		if err != nil {
+			return "", err
+		}
+		switch c {
+		case '\n':
+			return sb.String(), nil
+		case '\r':
+			// CRLF or bare CR both terminate the header; fold a
+			// following LF into the terminator.
+			if b, err := br.Peek(1); err == nil && b[0] == '\n' {
+				_, _ = br.Discard(1)
+			}
+			return sb.String(), nil
+		default:
+			sb.WriteByte(c)
+		}
+	}
 }
 
 func parseKB(path string) *detective.KB {

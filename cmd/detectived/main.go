@@ -40,6 +40,7 @@ import (
 
 func main() {
 	kbPath := flag.String("kb", "", "knowledge base file (triple format)")
+	kbSnapshot := flag.String("kb-snapshot", "", "knowledge base file (binary snapshot format, see kbtool pack); overrides -kb")
 	rulesPath := flag.String("rules", "", "detective rules file")
 	schemaSpec := flag.String("schema", "", "comma-separated attribute names of the relation")
 	name := flag.String("name", "table", "relation name")
@@ -62,16 +63,35 @@ func main() {
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(log)
 
-	if *kbPath == "" || *rulesPath == "" || *schemaSpec == "" {
-		fmt.Fprintln(os.Stderr, "usage: detectived -kb KB -rules RULES -schema A,B,C [-addr :8080] [-ops-addr :9090]")
+	if (*kbPath == "" && *kbSnapshot == "") || *rulesPath == "" || *schemaSpec == "" {
+		fmt.Fprintln(os.Stderr, "usage: detectived {-kb KB | -kb-snapshot KB.snap} -rules RULES -schema A,B,C [-addr :8080] [-ops-addr :9090]")
 		os.Exit(2)
 	}
 
-	kf, err := os.Open(*kbPath)
+	// loadKB re-reads the KB source on every call so POST /reload and
+	// SIGHUP pick up whatever is on disk now. Snapshot wins when both
+	// flags are set (it is the fast path).
+	loadKB := func() (*detective.KB, error) {
+		if *kbSnapshot != "" {
+			f, err := os.Open(*kbSnapshot)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return detective.LoadKBSnapshot(f)
+		}
+		f, err := os.Open(*kbPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return detective.ParseKB(f)
+	}
+
+	loadStart := time.Now()
+	g, err := loadKB()
 	fail(log, err)
-	g, err := detective.ParseKB(kf)
-	kf.Close()
-	fail(log, err)
+	initialLoad := time.Since(loadStart)
 
 	rf, err := os.Open(*rulesPath)
 	fail(log, err)
@@ -112,21 +132,45 @@ func main() {
 
 	var opsSrv *http.Server
 	if *opsAddr != "" {
+		opsMux := telemetry.NewOpsMux(telemetry.Default())
+		// Admin-only KB hot reload stays on the operator port, next to
+		// /metrics and pprof, never on the public listener.
+		opsMux.Handle("POST /reload", s.ReloadHandler(loadKB))
 		opsSrv = &http.Server{
 			Addr:              *opsAddr,
-			Handler:           telemetry.NewOpsMux(telemetry.Default()),
+			Handler:           opsMux,
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() { errc <- opsSrv.ListenAndServe() }()
 		log.Info("ops listener up",
 			slog.String("addr", *opsAddr),
-			slog.String("endpoints", "/metrics /debug/pprof/"))
+			slog.String("endpoints", "/metrics /debug/pprof/ POST /reload"))
 	}
+
+	// SIGHUP is the file-based reload path for operators without ops
+	// port access: re-read the KB source and hot-swap it in. A failed
+	// load logs and keeps the current graph serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			start := time.Now()
+			ng, err := loadKB()
+			if err != nil {
+				log.Error("SIGHUP reload failed; keeping current graph", slog.Any("error", err))
+				continue
+			}
+			gen := s.ReloadKB(ng, time.Since(start))
+			log.Info("SIGHUP reload complete", slog.Int64("generation", gen))
+		}
+	}()
 
 	log.Info("detectived up",
 		slog.Int("rules", len(rs)),
 		slog.Any("schema", attrs),
 		slog.String("kb", fmt.Sprint(g)),
+		slog.Duration("kb_load", initialLoad),
 		slog.String("addr", *addr),
 		slog.String("log_level", level.String()))
 

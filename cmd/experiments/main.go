@@ -27,6 +27,7 @@ import (
 
 	"detective/internal/dataset"
 	"detective/internal/eval"
+	"detective/internal/kb"
 	"detective/internal/repair"
 )
 
@@ -275,6 +276,37 @@ func writeRepairBench(path string) error {
 			}
 		})))
 	}
+
+	// KB load formats: the text parser versus the binary snapshot
+	// decoder over the same graph. The snapshot's headline claim (≥5×
+	// faster load) is gated by benchdiff through these two series.
+	loadKB := dataset.NewNobel(1, 4000).Yago
+	var textBuf, snapBuf bytes.Buffer
+	if err := loadKB.Encode(&textBuf); err != nil {
+		return err
+	}
+	if err := loadKB.WriteSnapshot(&snapBuf); err != nil {
+		return err
+	}
+	textSrc, snapSrc := textBuf.Bytes(), snapBuf.Bytes()
+	results = append(results,
+		record("KBLoadText", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := kb.Parse(bytes.NewReader(textSrc)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})),
+		record("KBLoadSnapshot", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := kb.LoadSnapshot(bytes.NewReader(snapSrc)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})),
+	)
 
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")

@@ -1,16 +1,26 @@
-// Command kbtool inspects a knowledge base file:
+// Command kbtool inspects and converts knowledge base files:
 //
 //	kbtool -kb kb.nt stats                 # size, taxonomy, largest classes
 //	kbtool -kb kb.nt entity "Avram Hershko"  # types + outgoing/incoming edges
 //	kbtool -kb kb.nt type city -limit 10   # instances of a class
+//	kbtool pack kb.nt kb.snap              # text -> binary snapshot
+//	kbtool unpack kb.snap kb.nt            # snapshot -> canonical text
+//	kbtool verify kb.snap                  # header + checksums + stats
+//
+// pack and unpack are deterministic: the same graph always produces
+// the same bytes (pack sorts every section; unpack emits the
+// canonical text encoding), so snapshot artifacts diff and cache
+// cleanly. "-" means stdin/stdout.
 //
 // It is the debugging companion for the triple files that datagen
 // emits and detective/detectived consume.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"detective"
@@ -22,8 +32,23 @@ func main() {
 	limit := flag.Int("limit", 20, "maximum items to list")
 	flag.Parse()
 
+	// Conversion subcommands name their files positionally and do not
+	// use -kb.
+	switch flag.Arg(0) {
+	case "pack":
+		pack(flag.Arg(1), flag.Arg(2))
+		return
+	case "unpack":
+		unpack(flag.Arg(1), flag.Arg(2))
+		return
+	case "verify":
+		verify(flag.Arg(1))
+		return
+	}
+
 	if *kbPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: kbtool -kb KB stats | entity NAME | type CLASS")
+		fmt.Fprintln(os.Stderr, "usage: kbtool -kb KB stats | entity NAME | type CLASS\n"+
+			"       kbtool pack KB.nt KB.snap | unpack KB.snap KB.nt | verify KB.snap")
 		os.Exit(2)
 	}
 	f, err := os.Open(*kbPath)
@@ -48,6 +73,80 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown command %q", flag.Arg(0)))
 	}
+}
+
+// openIn opens path for reading; "-" is stdin.
+func openIn(path string) io.ReadCloser {
+	if path == "-" {
+		return io.NopCloser(os.Stdin)
+	}
+	f, err := os.Open(path)
+	fail(err)
+	return f
+}
+
+// createOut creates path for writing; "-" is stdout.
+func createOut(path string) io.WriteCloser {
+	if path == "-" {
+		return nopWriteCloser{os.Stdout}
+	}
+	f, err := os.Create(path)
+	fail(err)
+	return f
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+// pack converts a text-format KB to the binary snapshot format. The
+// output is deterministic: packing the same input twice produces
+// byte-identical snapshots.
+func pack(in, out string) {
+	if in == "" || out == "" {
+		fail(fmt.Errorf("usage: kbtool pack KB.nt KB.snap"))
+	}
+	r := openIn(in)
+	g, err := detective.ParseKB(bufio.NewReader(r))
+	r.Close()
+	fail(err)
+	w := createOut(out)
+	bw := bufio.NewWriter(w)
+	fail(detective.WriteKBSnapshot(bw, g))
+	fail(bw.Flush())
+	fail(w.Close())
+}
+
+// unpack converts a binary snapshot back to the canonical text
+// encoding (sorted sections — deterministic, Parse-compatible).
+func unpack(in, out string) {
+	if in == "" || out == "" {
+		fail(fmt.Errorf("usage: kbtool unpack KB.snap KB.nt"))
+	}
+	r := openIn(in)
+	g, err := detective.LoadKBSnapshot(r)
+	r.Close()
+	fail(err)
+	w := createOut(out)
+	bw := bufio.NewWriter(w)
+	fail(g.Encode(bw))
+	fail(bw.Flush())
+	fail(w.Close())
+}
+
+// verify loads a snapshot — exercising the header, section layout and
+// every checksum — and prints a one-line summary. Exit 0 means the
+// file would serve.
+func verify(in string) {
+	if in == "" {
+		fail(fmt.Errorf("usage: kbtool verify KB.snap"))
+	}
+	r := openIn(in)
+	g, err := detective.LoadKBSnapshot(r)
+	r.Close()
+	fail(err)
+	fmt.Printf("ok: %d nodes, %d triples, generation %d\n",
+		g.NumNodes(), g.NumTriples(), g.Generation())
 }
 
 func entity(g *detective.KB, name string, limit int) {

@@ -58,18 +58,6 @@ type Edge struct {
 	To   ID // the other endpoint
 }
 
-// SP is a (subject, predicate) index key.
-type SP struct {
-	S ID
-	P ID
-}
-
-// PO is a (predicate, object) index key.
-type PO struct {
-	P ID
-	O ID
-}
-
 // Graph is an in-memory RDF graph with the indexes rule matching
 // needs. It is not safe for concurrent mutation; concurrent reads are
 // safe once loading has finished and Freeze has been called (or after
@@ -84,10 +72,10 @@ type Graph struct {
 	subOf   map[ID][]ID // class -> direct subclasses
 	instOf  map[ID][]ID // class -> direct instances
 
-	out map[ID][]Edge
-	in  map[ID][]Edge
-	sp  map[SP][]ID
-	po  map[PO][]ID
+	out edgeIndex  // subject -> outgoing edges
+	in  edgeIndex  // object -> incoming edges
+	sp  *pairTable // (subject, predicate) -> objects
+	po  *pairTable // (predicate, object) -> subjects
 
 	preds       map[ID]struct{}
 	tripleCount int
@@ -111,10 +99,8 @@ func New() *Graph {
 		superOf: make(map[ID][]ID),
 		subOf:   make(map[ID][]ID),
 		instOf:  make(map[ID][]ID),
-		out:     make(map[ID][]Edge),
-		in:      make(map[ID][]Edge),
-		sp:      make(map[SP][]ID),
-		po:      make(map[PO][]ID),
+		sp:      newPairTable(0, 0),
+		po:      newPairTable(0, 0),
 		preds:   make(map[ID]struct{}),
 	}
 	g.literalClass = g.intern(LiteralClass, KindClass)
@@ -133,6 +119,8 @@ func (g *Graph) intern(name string, kind Kind) ID {
 	id := ID(len(g.names))
 	g.names = append(g.names, name)
 	g.kinds = append(g.kinds, kind)
+	g.out.addNode()
+	g.in.addNode()
 	g.byName[name] = id
 	g.gen++
 	return id
@@ -224,16 +212,16 @@ func (g *Graph) AddPropertyTriple(s, p, o string) {
 // AddTripleID records the triple (s, p, o) over already-interned IDs.
 // Duplicate triples are ignored.
 func (g *Graph) AddTripleID(s, p, o ID) {
-	key := SP{s, p}
-	for _, ex := range g.sp[key] {
+	key := pairKey(s, p)
+	for _, ex := range g.sp.get(key) {
 		if ex == o {
 			return
 		}
 	}
-	g.out[s] = append(g.out[s], Edge{Pred: p, To: o})
-	g.in[o] = append(g.in[o], Edge{Pred: p, To: s})
-	g.sp[key] = append(g.sp[key], o)
-	g.po[PO{p, o}] = append(g.po[PO{p, o}], s)
+	g.out.add(s, Edge{Pred: p, To: o})
+	g.in.add(o, Edge{Pred: p, To: s})
+	g.sp.add(key, o)
+	g.po.add(pairKey(p, o), s)
 	g.preds[p] = struct{}{}
 	g.tripleCount++
 	g.gen++
@@ -277,15 +265,15 @@ func (g *Graph) AddSubclassID(sub, super ID) {
 
 // Objects returns all o with (s, p, o) in the graph. The returned
 // slice is shared; callers must not mutate it.
-func (g *Graph) Objects(s, p ID) []ID { return g.sp[SP{s, p}] }
+func (g *Graph) Objects(s, p ID) []ID { return g.sp.get(pairKey(s, p)) }
 
 // Subjects returns all s with (s, p, o) in the graph. The returned
 // slice is shared; callers must not mutate it.
-func (g *Graph) Subjects(p, o ID) []ID { return g.po[PO{p, o}] }
+func (g *Graph) Subjects(p, o ID) []ID { return g.po.get(pairKey(p, o)) }
 
 // HasEdge reports whether the triple (s, p, o) is in the graph.
 func (g *Graph) HasEdge(s, p, o ID) bool {
-	for _, x := range g.sp[SP{s, p}] {
+	for _, x := range g.sp.get(pairKey(s, p)) {
 		if x == o {
 			return true
 		}
@@ -293,11 +281,13 @@ func (g *Graph) HasEdge(s, p, o ID) bool {
 	return false
 }
 
-// Out returns the outgoing edges of s (shared slice).
-func (g *Graph) Out(s ID) []Edge { return g.out[s] }
+// Out returns the outgoing edges of s (shared slice). Like a map
+// lookup, out-of-range IDs (e.g. Invalid) yield nil.
+func (g *Graph) Out(s ID) []Edge { return g.out.view(s) }
 
-// In returns the incoming edges of o (shared slice).
-func (g *Graph) In(o ID) []Edge { return g.in[o] }
+// In returns the incoming edges of o (shared slice). Like a map
+// lookup, out-of-range IDs (e.g. Invalid) yield nil.
+func (g *Graph) In(o ID) []Edge { return g.in.view(o) }
 
 // DirectTypes returns the directly asserted classes of inst (shared
 // slice).

@@ -223,6 +223,59 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseErrorReportsLineAndText(t *testing.T) {
+	in := "# header\n<a> <r> <b> .\n<a> <r>\n"
+	_, err := Parse(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("Parse: want error on truncated line")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("Line = %d, want 3", pe.Line)
+	}
+	if pe.Text != "<a> <r>" {
+		t.Errorf("Text = %q, want the offending line", pe.Text)
+	}
+	if !strings.Contains(pe.Error(), "line 3") {
+		t.Errorf("Error() = %q, should mention the line number", pe.Error())
+	}
+}
+
+func TestParseBadArity(t *testing.T) {
+	cases := []string{
+		"<a> .",                   // subject only
+		"<a> <b> <c> <d> .",       // four terms
+		"<only-subject>",          // no predicate, no dot
+		"<a> <b> <c> . <d> <e> .", // two triples on one line
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("Parse(%q): want arity error, got nil", c)
+		}
+	}
+}
+
+func TestParseDuplicateClassEdge(t *testing.T) {
+	in := "<city> <subClassOf> <location> .\n" +
+		"<city> <subClassOf> <location> .\n" + // duplicate taxonomy edge
+		"<Haifa> <type> <city> .\n" +
+		"<Haifa> <type> <city> .\n" // duplicate type assertion
+	g, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v (duplicate class edges must be tolerated)", err)
+	}
+	city := g.Lookup("city")
+	if got := g.Superclasses(city); len(got) != 1 {
+		t.Errorf("Superclasses(city) = %v, want exactly one edge", got)
+	}
+	if got := g.DirectTypes(g.Lookup("Haifa")); len(got) != 1 {
+		t.Errorf("DirectTypes(Haifa) = %v, want exactly one class", got)
+	}
+}
+
 func TestParseSkipsCommentsAndBlank(t *testing.T) {
 	in := "# a comment\n\n<a> <r> <b> .\n   \n# more\n"
 	g, err := Parse(strings.NewReader(in))

@@ -164,12 +164,12 @@ func (g *Graph) Encode(w io.Writer) error {
 	}
 
 	lines = lines[:0]
-	for s, edges := range g.out {
-		for _, e := range edges {
+	for s := range g.out.spans {
+		for _, e := range g.out.view(ID(s)) {
 			if g.kinds[e.To] == KindLiteral {
-				lines = append(lines, fmt.Sprintf("<%s> <%s> %q .", g.Name(s), g.Name(e.Pred), g.Name(e.To)))
+				lines = append(lines, fmt.Sprintf("<%s> <%s> %q .", g.Name(ID(s)), g.Name(e.Pred), g.Name(e.To)))
 			} else {
-				lines = append(lines, fmt.Sprintf("<%s> <%s> <%s> .", g.Name(s), g.Name(e.Pred), g.Name(e.To)))
+				lines = append(lines, fmt.Sprintf("<%s> <%s> <%s> .", g.Name(ID(s)), g.Name(e.Pred), g.Name(e.To)))
 			}
 		}
 	}

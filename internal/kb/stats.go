@@ -56,8 +56,8 @@ func (g *Graph) ComputeStats(topN int) Stats {
 		s.TypeAssertions += len(classes)
 	}
 	subjects := 0
-	for _, edges := range g.out {
-		if len(edges) > 0 {
+	for _, sp := range g.out.spans {
+		if sp.n > 0 {
 			subjects++
 		}
 	}

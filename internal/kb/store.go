@@ -1,0 +1,66 @@
+package kb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Store is an atomically swappable handle to the current knowledge
+// graph — the unit of zero-downtime KB reload. Readers pin the graph
+// once per tuple with Graph() and finish that tuple entirely on the
+// pinned graph; Swap publishes a fully built replacement without
+// blocking any reader.
+//
+// Swap guarantees the incoming graph's Generation is strictly greater
+// than the outgoing one's. Caches keyed on a graph's generation
+// (rules.Catalog's candidate cache and signature indexes) therefore
+// distinguish pre- and post-swap content with a single integer
+// compare, and entries tagged with an older generation can never be
+// served against the new graph.
+//
+// Graphs handed to NewStore or Swap must be fully loaded; the store
+// freezes them (forcing the lazy closures) before publishing, so every
+// graph observable through Graph() is safe for concurrent reads.
+type Store struct {
+	cur   atomic.Pointer[Graph]
+	swaps atomic.Int64
+	mu    sync.Mutex // serializes Swap's read-stamp-publish sequence
+}
+
+// NewStore freezes g and returns a store currently serving it.
+func NewStore(g *Graph) *Store {
+	g.Freeze()
+	s := &Store{}
+	s.cur.Store(g)
+	return s
+}
+
+// Graph returns the currently served graph. Callers doing multi-step
+// work (a tuple repair, a stats report) must call this once and hold
+// the result, not re-resolve mid-work: IDs are only meaningful within
+// one graph.
+func (s *Store) Graph() *Graph { return s.cur.Load() }
+
+// Generation returns the current graph's generation.
+func (s *Store) Generation() int64 { return s.cur.Load().Generation() }
+
+// Swaps returns how many times Swap has replaced the graph.
+func (s *Store) Swaps() int64 { return s.swaps.Load() }
+
+// Swap atomically replaces the served graph with g and returns the
+// graph it replaced. g must not be shared with any other goroutine
+// yet: Swap stamps its generation (to strictly exceed the outgoing
+// graph's) and freezes it before publishing. In-flight work that
+// pinned the old graph is unaffected and finishes on it.
+func (s *Store) Swap(g *Graph) (old *Graph) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old = s.cur.Load()
+	if g.gen <= old.gen {
+		g.gen = old.gen + 1
+	}
+	g.Freeze()
+	s.swaps.Add(1)
+	s.cur.Store(g)
+	return old
+}

@@ -153,12 +153,20 @@ func NewEngine(drs []*rules.DR, g *kb.Graph, schema *relation.Schema) (*Engine, 
 
 // NewEngineWithOptions is NewEngine with ablation switches.
 func NewEngineWithOptions(drs []*rules.DR, g *kb.Graph, schema *relation.Schema, opts Options) (*Engine, error) {
+	return NewEngineStore(drs, kb.NewStore(g), schema, opts)
+}
+
+// NewEngineStore builds the engine over a swappable KB handle: every
+// tuple repair pins the store's current graph once at entry and runs
+// entirely on it, so kb.Store.Swap can replace the KB mid-stream
+// without mixing two graphs within one tuple.
+func NewEngineStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, opts Options) (*Engine, error) {
 	if len(drs) == 0 {
 		return nil, fmt.Errorf("repair: empty rule set")
 	}
 	e := &Engine{
 		Schema:   schema,
-		Cat:      rules.NewCatalog(g),
+		Cat:      rules.NewCatalogStore(store),
 		Graph:    BuildRuleGraph(drs),
 		opts:     opts,
 		colInval: make([][]int32, schema.Arity()),
@@ -256,6 +264,11 @@ func NewEngineWithOptions(drs []*rules.DR, g *kb.Graph, schema *relation.Schema,
 // Rules returns the engine's rule set, in construction order.
 func (e *Engine) Rules() []*rules.DR { return e.Graph.Rules }
 
+// Store returns the engine's swappable KB handle. Swapping a new
+// graph into it (kb.Store.Swap) takes effect on the next tuple each
+// worker starts; in-flight tuples finish on the graph they pinned.
+func (e *Engine) Store() *kb.Store { return e.Cat.Store() }
+
 // Warm pre-builds the per-class signature indexes and seeds the
 // catalog's cross-tuple candidate cache by issuing one lookup per
 // distinct (type, sim) pair over every rule node — evidence, positive
@@ -350,6 +363,7 @@ func (e *Engine) BasicRepair(t *relation.Tuple) *relation.Tuple {
 }
 
 func (e *Engine) basicRepair(t *relation.Tuple, alts map[string][]string) *relation.Tuple {
+	g := e.Cat.Graph() // pin: the whole tuple repairs against one KB
 	cl := t.Clone()
 	used := make([]bool, len(e.slow))
 	applied := 0
@@ -359,7 +373,7 @@ func (e *Engine) basicRepair(t *relation.Tuple, alts map[string][]string) *relat
 			if used[i] {
 				continue
 			}
-			out := m.Evaluate(cl)
+			out := m.EvaluateOn(g, cl)
 			if !e.applicable(cl, out) {
 				continue
 			}
@@ -505,6 +519,7 @@ type fastState struct {
 	alts  map[string][]string // optional multi-version recorder
 	steps *[]Step             // optional explanation recorder
 	timer *stageTimer         // non-nil only while this tuple is latency-sampled
+	g     *kb.Graph           // the KB pinned for this tuple's whole repair
 
 	stepsLeft int  // remaining rule applications before degrade
 	exceeded  bool // step budget exhausted for this tuple
@@ -529,6 +544,7 @@ func (e *Engine) getState() *fastState {
 	st.alts = nil
 	st.steps = nil
 	st.timer = nil
+	st.g = e.Cat.Graph() // pin the current KB for this tuple
 	st.stepsLeft = e.stepBudget
 	st.exceeded = false
 	return st
@@ -538,6 +554,7 @@ func (e *Engine) putState(st *fastState) {
 	st.alts = nil
 	st.steps = nil
 	st.timer = nil
+	st.g = nil
 	e.pool.Put(st)
 }
 
@@ -568,10 +585,10 @@ func (e *Engine) fastStep(t *relation.Tuple, idx int, st *fastState, cyclic bool
 			}
 			var hold bool
 			if st.timer == nil {
-				hold = m.NodeCheck(t, c.node)
+				hold = m.NodeCheckOn(st.g, t, c.node)
 			} else {
 				t0 := time.Now()
-				hold = m.NodeCheck(t, c.node)
+				hold = m.NodeCheckOn(st.g, t, c.node)
 				st.timer.detect += time.Since(t0)
 			}
 			if hold {
@@ -597,10 +614,10 @@ func (e *Engine) fastStep(t *relation.Tuple, idx int, st *fastState, cyclic bool
 evaluate:
 	var out rules.Outcome
 	if st.timer == nil {
-		out = m.Evaluate(t)
+		out = m.EvaluateOn(st.g, t)
 	} else {
 		t0 := time.Now()
-		out = m.Evaluate(t)
+		out = m.EvaluateOn(st.g, t)
 		st.timer.detect += time.Since(t0)
 	}
 	if !e.applicable(t, out) {
@@ -714,7 +731,9 @@ func (e *Engine) RepairTableContext(ctx context.Context, tb *relation.Table, wor
 	}
 	e.Warm()
 	// The KB's lazy closures must be materialized before fan-out.
-	e.Cat.KB.Freeze()
+	// (Graphs published through a kb.Store are frozen already; this
+	// covers direct-constructed engines whose graph mutated since.)
+	e.Cat.Graph().Freeze()
 	out := &relation.Table{Schema: tb.Schema, Tuples: make([]*relation.Tuple, tb.Len())}
 	var wg sync.WaitGroup
 	var next atomic.Int64

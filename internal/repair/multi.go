@@ -22,6 +22,7 @@ func (e *Engine) RepairVersions(t *relation.Tuple) []*relation.Tuple {
 		t    *relation.Tuple
 		used []bool
 	}
+	g := e.Cat.Graph() // pin: all branches explore one KB
 	start := state{t: t.Clone(), used: make([]bool, len(e.fast))}
 	work := []state{start}
 	var finals []*relation.Tuple
@@ -36,7 +37,7 @@ func (e *Engine) RepairVersions(t *relation.Tuple) []*relation.Tuple {
 				if s.used[i] {
 					continue
 				}
-				out := m.Evaluate(s.t)
+				out := m.EvaluateOn(g, s.t)
 				if !e.applicable(s.t, out) {
 					continue
 				}

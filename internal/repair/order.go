@@ -9,6 +9,7 @@ import "detective/internal/relation"
 // set every order reaches the same fixpoint (the Church-Rosser
 // property, §IV-A).
 func (e *Engine) RepairWithOrder(t *relation.Tuple, order []int) *relation.Tuple {
+	g := e.Cat.Graph() // pin: every order explores one KB
 	cl := t.Clone()
 	used := make([]bool, len(e.fast))
 	for {
@@ -17,7 +18,7 @@ func (e *Engine) RepairWithOrder(t *relation.Tuple, order []int) *relation.Tuple
 			if used[i] {
 				continue
 			}
-			out := e.fast[i].Evaluate(cl)
+			out := e.fast[i].EvaluateOn(g, cl)
 			if !e.applicable(cl, out) {
 				continue
 			}

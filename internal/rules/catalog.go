@@ -49,9 +49,28 @@ func (k candKey) shard() uint32 {
 	return h & (candShards - 1)
 }
 
+// candEntry is one cached candidate list, tagged with the generation
+// of the graph it was computed against. A hit requires the tag to
+// match the reader's pinned graph, so entries inserted by stragglers
+// still running on a pre-swap graph can never be served against the
+// post-swap one (and vice versa) — no locking between swap and insert
+// is needed for correctness.
+type candEntry struct {
+	gen int64
+	ids []kb.ID
+}
+
 type candShard struct {
 	mu sync.RWMutex
-	m  map[candKey][]kb.ID
+	m  map[candKey]candEntry
+}
+
+// idxKey identifies one per-class signature index: indexes are keyed
+// by (class, graph generation) because class IDs are only meaningful
+// within one graph.
+type idxKey struct {
+	cls kb.ID
+	gen int64
 }
 
 // Catalog answers "which KB instances of class T match value v under
@@ -63,18 +82,23 @@ type candShard struct {
 // In front of the indexes sits a sharded, read-mostly *candidate
 // cache* keyed by (class, sim, value): the repeated values that
 // dominate real dirty tables hit the cache instead of re-running
-// q-gram/PASS-JOIN retrieval. The cache is bounded (SetCacheSize) and
-// generation-checked against the KB (kb.Graph.Generation) — the KB is
-// append-only, so a moved generation means new instances may exist,
-// and both the cache and the class indexes are dropped before the
-// next lookup. Freeze the KB after loading (kb.Graph.Freeze) and the
-// generation never moves again, making all catalog reads safe for
-// concurrent use.
+// q-gram/PASS-JOIN retrieval.
+//
+// The catalog reads its KB through a kb.Store, so the graph can be
+// hot-swapped while repairs are streaming. Correctness across a swap
+// rests on generations (kb.Store.Swap stamps each incoming graph
+// strictly above its predecessor): cache entries are tagged with the
+// generation they were computed under and only hit when the tag
+// matches the caller's pinned graph, and signature indexes are keyed
+// by (class, generation) with the two most recent generations
+// retained — in-flight tuples that pinned the old graph keep full
+// index service through the swap window. Callers doing multi-step
+// work pin a graph once (Graph()) and use the ...On variants.
 type Catalog struct {
-	KB *kb.Graph
+	store *kb.Store
 
 	mu  sync.RWMutex
-	idx map[kb.ID]*similarity.StringIndex
+	idx map[idxKey]*similarity.StringIndex
 
 	cacheCap     int // per-shard entry bound; 0 disables the cache
 	gen          atomic.Int64
@@ -82,14 +106,28 @@ type Catalog struct {
 	hits, misses atomic.Int64
 }
 
-// NewCatalog creates a catalog over g with the default candidate
-// cache size.
+// NewCatalog creates a catalog over a fixed graph g with the default
+// candidate cache size. For hot-swappable serving use NewCatalogStore.
 func NewCatalog(g *kb.Graph) *Catalog {
-	c := &Catalog{KB: g, idx: make(map[kb.ID]*similarity.StringIndex)}
+	return NewCatalogStore(kb.NewStore(g))
+}
+
+// NewCatalogStore creates a catalog reading the current graph of s
+// with the default candidate cache size.
+func NewCatalogStore(s *kb.Store) *Catalog {
+	c := &Catalog{store: s, idx: make(map[idxKey]*similarity.StringIndex)}
 	c.cacheCap = DefaultCandidateCacheSize / candShards
 	c.gen.Store(-1)
 	return c
 }
+
+// Graph returns the store's current graph. Multi-step callers pin it
+// once and pass it to the ...On variants so the whole step sees one
+// graph.
+func (c *Catalog) Graph() *kb.Graph { return c.store.Graph() }
+
+// Store returns the underlying swappable KB handle.
+func (c *Catalog) Store() *kb.Store { return c.store }
 
 // SetCacheSize re-bounds the candidate cache to about n entries in
 // total; n <= 0 disables caching entirely. Existing entries are
@@ -136,12 +174,12 @@ func (c *Catalog) IndexStats() (hits, misses int64, size int) {
 }
 
 // Invalidate drops the candidate cache and the per-class signature
-// indexes. Lookups rebuild both lazily. Call it after mutating the KB
-// (checkGen also does this automatically by watching the KB
-// generation).
+// indexes. Lookups rebuild both lazily. It is not needed around KB
+// swaps or mutations — advance handles those via generations — but
+// remains useful to release memory.
 func (c *Catalog) Invalidate() {
 	c.mu.Lock()
-	c.idx = make(map[kb.ID]*similarity.StringIndex)
+	c.idx = make(map[idxKey]*similarity.StringIndex)
 	c.mu.Unlock()
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -151,75 +189,101 @@ func (c *Catalog) Invalidate() {
 	}
 }
 
-// checkGen invalidates cached state when the KB has grown since the
-// last lookup. The KB is append-only and counts every content
-// mutation (kb.Graph.Generation); after loading finishes and Freeze is
-// called the generation is stable, and this is a single atomic load
-// per lookup.
-func (c *Catalog) checkGen() {
-	n := c.KB.Generation()
-	if c.gen.Load() == n {
+// advance notes that a reader is operating at generation gen. When gen
+// moves past the highest generation seen so far (a KB swap or
+// mutation), the candidate-cache shards are cleared — their
+// generation tags already prevent stale hits, clearing just frees the
+// memory promptly — and signature indexes older than the previous
+// generation are pruned, keeping at most the last two generations
+// alive for stragglers. Readers on older graphs (gen below current)
+// advance nothing.
+func (c *Catalog) advance(gen int64) {
+	cur := c.gen.Load()
+	if gen <= cur {
 		return
 	}
-	c.Invalidate()
-	c.gen.Store(n)
+	if !c.gen.CompareAndSwap(cur, gen) {
+		return // someone else advanced concurrently
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = nil
+		sh.mu.Unlock()
+	}
+	c.mu.Lock()
+	for k := range c.idx {
+		if k.gen != gen && k.gen != cur {
+			delete(c.idx, k)
+		}
+	}
+	c.mu.Unlock()
 }
 
 // classIndex returns (building on first use) the signature index over
-// the instance names of cls. It is safe for concurrent use; the KB
-// must not be mutated once lookups begin.
-func (c *Catalog) classIndex(cls kb.ID) *similarity.StringIndex {
+// the instance names of cls in g. Indexes are per-generation, so
+// concurrent readers on pre- and post-swap graphs each get an index
+// built from their own graph.
+func (c *Catalog) classIndex(g *kb.Graph, cls kb.ID) *similarity.StringIndex {
+	key := idxKey{cls: cls, gen: g.Generation()}
 	c.mu.RLock()
-	ix, ok := c.idx[cls]
+	ix, ok := c.idx[key]
 	c.mu.RUnlock()
 	if ok {
 		return ix
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if ix, ok := c.idx[cls]; ok {
+	if ix, ok := c.idx[key]; ok {
 		return ix
 	}
 	ix = similarity.NewStringIndex(MaxEDThreshold)
-	for _, inst := range c.KB.InstancesOf(cls) {
-		ix.Add(c.KB.Name(inst), int32(inst))
+	for _, inst := range g.InstancesOf(cls) {
+		ix.Add(g.Name(inst), int32(inst))
 	}
-	c.idx[cls] = ix
+	c.idx[key] = ix
 	return ix
 }
 
 // Candidates returns the instances of class typeName whose names match
-// value under spec. A type unknown to the KB yields no candidates.
-// The returned slice may be shared with the cache and other callers —
-// treat it as read-only. Edit-distance specs beyond MaxEDThreshold are
-// rejected at rule validation time; reaching here with one is a
-// programming error.
+// value under spec, evaluated against the store's current graph. See
+// CandidatesOn for the pinned-graph variant multi-step callers need.
 func (c *Catalog) Candidates(typeName string, spec similarity.Spec, value string) []kb.ID {
+	return c.CandidatesOn(c.store.Graph(), typeName, spec, value)
+}
+
+// CandidatesOn is Candidates against an explicitly pinned graph. A
+// type unknown to the KB yields no candidates. The returned slice may
+// be shared with the cache and other callers — treat it as read-only.
+// Edit-distance specs beyond MaxEDThreshold are rejected at rule
+// validation time; reaching here with one is a programming error.
+func (c *Catalog) CandidatesOn(g *kb.Graph, typeName string, spec similarity.Spec, value string) []kb.ID {
 	if spec.Op == similarity.OpED && spec.K > MaxEDThreshold {
 		panic(fmt.Sprintf("rules: ED threshold %d exceeds MaxEDThreshold %d", spec.K, MaxEDThreshold))
 	}
-	cls := c.KB.Lookup(typeName)
+	cls := g.Lookup(typeName)
 	if cls == kb.Invalid {
 		return nil
 	}
 	if c.cacheCap == 0 {
-		return c.retrieve(cls, spec, value)
+		return c.retrieve(g, cls, spec, value)
 	}
-	c.checkGen()
+	gen := g.Generation()
+	c.advance(gen)
 	key := candKey{cls: cls, spec: spec, value: value}
 	sh := &c.shards[key.shard()]
 	sh.mu.RLock()
-	out, ok := sh.m[key]
+	e, ok := sh.m[key]
 	sh.mu.RUnlock()
-	if ok {
+	if ok && e.gen == gen {
 		c.hits.Add(1)
-		return out
+		return e.ids
 	}
 	c.misses.Add(1)
-	out = c.retrieve(cls, spec, value)
+	out := c.retrieve(g, cls, spec, value)
 	sh.mu.Lock()
 	if sh.m == nil {
-		sh.m = make(map[candKey][]kb.ID, c.cacheCap)
+		sh.m = make(map[candKey]candEntry, c.cacheCap)
 	}
 	if len(sh.m) >= c.cacheCap {
 		// The shard is full: evict an arbitrary eighth. Map iteration
@@ -233,14 +297,14 @@ func (c *Catalog) Candidates(typeName string, spec similarity.Spec, value string
 			}
 		}
 	}
-	sh.m[key] = out
+	sh.m[key] = candEntry{gen: gen, ids: out}
 	sh.mu.Unlock()
 	return out
 }
 
-// retrieve runs the underlying signature-index lookup.
-func (c *Catalog) retrieve(cls kb.ID, spec similarity.Spec, value string) []kb.ID {
-	raw := c.classIndex(cls).Lookup(spec, value)
+// retrieve runs the underlying signature-index lookup on g.
+func (c *Catalog) retrieve(g *kb.Graph, cls kb.ID, spec similarity.Spec, value string) []kb.ID {
+	raw := c.classIndex(g, cls).Lookup(spec, value)
 	if len(raw) == 0 {
 		return nil
 	}
@@ -257,6 +321,11 @@ func (c *Catalog) HasCandidate(typeName string, spec similarity.Spec, value stri
 	return len(c.Candidates(typeName, spec, value)) > 0
 }
 
+// HasCandidateOn is HasCandidate against a pinned graph.
+func (c *Catalog) HasCandidateOn(g *kb.Graph, typeName string, spec similarity.Spec, value string) bool {
+	return len(c.CandidatesOn(g, typeName, spec, value)) > 0
+}
+
 // CandidatesScan is the unindexed counterpart of Candidates: it
 // enumerates every instance of the class and tests the matching
 // operation directly, the O(|C|·|X|) per-node cost the paper charges
@@ -265,13 +334,18 @@ func (c *Catalog) HasCandidate(typeName string, spec similarity.Spec, value stri
 // deliberately uncached: it models the basic algorithm's cost, and
 // caching it would corrupt the ablation contrast.
 func (c *Catalog) CandidatesScan(typeName string, spec similarity.Spec, value string) []kb.ID {
-	cls := c.KB.Lookup(typeName)
+	return c.CandidatesScanOn(c.store.Graph(), typeName, spec, value)
+}
+
+// CandidatesScanOn is CandidatesScan against a pinned graph.
+func (c *Catalog) CandidatesScanOn(g *kb.Graph, typeName string, spec similarity.Spec, value string) []kb.ID {
+	cls := g.Lookup(typeName)
 	if cls == kb.Invalid {
 		return nil
 	}
 	var out []kb.ID
-	for _, inst := range c.KB.InstancesOf(cls) {
-		if spec.Match(value, c.KB.Name(inst)) {
+	for _, inst := range g.InstancesOf(cls) {
+		if spec.Match(value, g.Name(inst)) {
 			out = append(out, inst)
 		}
 	}
@@ -280,8 +354,13 @@ func (c *Catalog) CandidatesScan(typeName string, spec similarity.Spec, value st
 
 // Lookup retrieves candidates with or without the signature indexes.
 func (c *Catalog) Lookup(typeName string, spec similarity.Spec, value string, scan bool) []kb.ID {
+	return c.LookupOn(c.store.Graph(), typeName, spec, value, scan)
+}
+
+// LookupOn is Lookup against a pinned graph.
+func (c *Catalog) LookupOn(g *kb.Graph, typeName string, spec similarity.Spec, value string, scan bool) []kb.ID {
 	if scan {
-		return c.CandidatesScan(typeName, spec, value)
+		return c.CandidatesScanOn(g, typeName, spec, value)
 	}
-	return c.Candidates(typeName, spec, value)
+	return c.CandidatesOn(g, typeName, spec, value)
 }

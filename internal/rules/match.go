@@ -30,13 +30,15 @@ func (a Assignment) clone() Assignment {
 // order, and edges are checked as soon as both endpoints are bound.
 func FindAssignments(cat *Catalog, schema *relation.Schema, t *relation.Tuple,
 	nodes []Node, edges []Edge, limit int) []Assignment {
-	return findAssignments(cat, schema, t, nodes, edges, limit, false)
+	return findAssignments(cat.Graph(), cat, schema, t, nodes, edges, limit, false)
 }
 
-// findAssignments is FindAssignments with an explicit retrieval mode:
-// scan=true charges the basic algorithm's full class-extent scan for
-// every node instead of using the signature indexes.
-func findAssignments(cat *Catalog, schema *relation.Schema, t *relation.Tuple,
+// findAssignments is FindAssignments with an explicit retrieval mode
+// (scan=true charges the basic algorithm's full class-extent scan for
+// every node instead of using the signature indexes) and an explicitly
+// pinned graph, so one tuple's whole evaluation sees one KB even while
+// the catalog's store is being hot-swapped.
+func findAssignments(g *kb.Graph, cat *Catalog, schema *relation.Schema, t *relation.Tuple,
 	nodes []Node, edges []Edge, limit int, scan bool) []Assignment {
 
 	// Candidate sets per column-bound node. Column-less nodes (path
@@ -52,7 +54,7 @@ func findAssignments(cat *Catalog, schema *relation.Schema, t *relation.Tuple,
 		if col < 0 {
 			return nil
 		}
-		cands[i] = cat.Lookup(n.Type, n.Sim, t.Values[col], scan)
+		cands[i] = cat.LookupOn(g, n.Type, n.Sim, t.Values[col], scan)
 		if len(cands[i]) == 0 {
 			return nil
 		}
@@ -88,7 +90,7 @@ func findAssignments(cat *Catalog, schema *relation.Schema, t *relation.Tuple,
 		node := nodes[ni]
 		options := cands[ni]
 		if node.Col == "" {
-			options = lazyCandidates(cat, nodes, edges, cur, ni)
+			options = lazyCandidates(g, nodes, edges, cur, ni)
 		}
 	candidates:
 		for _, inst := range options {
@@ -118,8 +120,8 @@ func findAssignments(cat *Catalog, schema *relation.Schema, t *relation.Tuple,
 					}
 					from = v
 				}
-				rel := cat.KB.Lookup(e.Rel)
-				if rel == kb.Invalid || !cat.KB.HasEdge(from, rel, to) {
+				rel := g.Lookup(e.Rel)
+				if rel == kb.Invalid || !g.HasEdge(from, rel, to) {
 					continue candidates
 				}
 			}
@@ -174,8 +176,7 @@ func attachLazy(nodes []Node, edges []Edge, bound, lazy []int) ([]int, bool) {
 // lazyCandidates computes the instances that can stand as the
 // column-less node ni: the intersection of the relationship
 // neighbourhoods of its already-bound neighbours, filtered by type.
-func lazyCandidates(cat *Catalog, nodes []Node, edges []Edge, cur Assignment, ni int) []kb.ID {
-	g := cat.KB
+func lazyCandidates(g *kb.Graph, nodes []Node, edges []Edge, cur Assignment, ni int) []kb.ID {
 	node := nodes[ni]
 	cls := g.Lookup(node.Type)
 	if cls == kb.Invalid {
@@ -368,16 +369,24 @@ const assignmentCap = 64
 // matched evidence instances, which avoids value-driven retrieval over
 // large or low-entropy class extents entirely.
 func (m *Matcher) Evaluate(t *relation.Tuple) Outcome {
+	return m.EvaluateOn(m.Cat.Graph(), t)
+}
+
+// EvaluateOn is Evaluate against an explicitly pinned graph: callers
+// repairing a whole tuple (or table) pin the store's graph once and
+// evaluate every rule on it, so a concurrent hot swap never mixes two
+// KBs within one tuple.
+func (m *Matcher) EvaluateOn(g *kb.Graph, t *relation.Tuple) Outcome {
 	if !m.Scan && len(m.Rule.Evidence) > 0 {
-		return m.evaluateEdgeDriven(t)
+		return m.evaluateEdgeDriven(g, t)
 	}
-	return m.evaluateValueDriven(t)
+	return m.evaluateValueDriven(g, t)
 }
 
 // evaluateEdgeDriven matches evidence first and resolves the positive
 // and negative nodes through their incident edges.
-func (m *Matcher) evaluateEdgeDriven(t *relation.Tuple) Outcome {
-	evAs := findAssignments(m.Cat, m.Schema, t, m.Rule.Evidence, m.evEdges, assignmentCap, false)
+func (m *Matcher) evaluateEdgeDriven(g *kb.Graph, t *relation.Tuple) Outcome {
+	evAs := findAssignments(g, m.Cat, m.Schema, t, m.Rule.Evidence, m.evEdges, assignmentCap, false)
 	if len(evAs) == 0 {
 		return Outcome{Kind: NoMatch}
 	}
@@ -389,10 +398,10 @@ func (m *Matcher) evaluateEdgeDriven(t *relation.Tuple) Outcome {
 	fuzzyNames := make(map[string]bool)
 	posCands := make([][]kb.ID, len(evAs))
 	for i, a := range evAs {
-		posCands[i] = m.poleCandidates(a, m.posNodes, m.posEdges, m.Rule.Pos, m.posIncident)
+		posCands[i] = m.poleCandidates(g, a, m.posNodes, m.posEdges, m.Rule.Pos, m.posIncident)
 		exact := false
 		for _, xp := range posCands[i] {
-			name := m.Cat.KB.Name(xp)
+			name := g.Name(xp)
 			if !m.Rule.Pos.Sim.Match(value, name) {
 				continue
 			}
@@ -410,7 +419,7 @@ func (m *Matcher) evaluateEdgeDriven(t *relation.Tuple) Outcome {
 	}
 	if len(exactAs) > 0 {
 		return Outcome{Kind: Positive, MarkCols: m.markCols,
-			Canonical: m.canonicalEvidence(t, exactAs), Witness: m.witness(exactAs[0], nil)}
+			Canonical: m.canonicalEvidence(g, t, exactAs), Witness: m.witness(g, exactAs[0], nil)}
 	}
 	if len(fuzzyNames) > 0 {
 		repairs := make([]string, 0, len(fuzzyNames))
@@ -419,8 +428,8 @@ func (m *Matcher) evaluateEdgeDriven(t *relation.Tuple) Outcome {
 		}
 		sortRepairs(value, repairs)
 		return Outcome{Kind: Repair, MarkCols: m.markCols, RepairCol: m.Rule.Pos.Col,
-			Repairs: repairs, Canonical: m.canonicalEvidence(t, fuzzyAs),
-			Witness: m.witness(fuzzyAs[0], nil)}
+			Repairs: repairs, Canonical: m.canonicalEvidence(g, t, fuzzyAs),
+			Witness: m.witness(g, fuzzyAs[0], nil)}
 	}
 
 	// (2) Proof negative + (3) correction.
@@ -433,8 +442,8 @@ func (m *Matcher) evaluateEdgeDriven(t *relation.Tuple) Outcome {
 	for i, a := range evAs {
 		xns := make(map[kb.ID]bool)
 		var firstXn kb.ID = kb.Invalid
-		for _, xn := range m.poleCandidates(a, m.negNodes, m.negEdges, *m.Rule.Neg, m.negIncident) {
-			if m.Rule.Neg.Sim.Match(value, m.Cat.KB.Name(xn)) {
+		for _, xn := range m.poleCandidates(g, a, m.negNodes, m.negEdges, *m.Rule.Neg, m.negIncident) {
+			if m.Rule.Neg.Sim.Match(value, g.Name(xn)) {
 				xns[xn] = true
 				if firstXn == kb.Invalid {
 					firstXn = xn
@@ -450,11 +459,11 @@ func (m *Matcher) evaluateEdgeDriven(t *relation.Tuple) Outcome {
 			if xns[xp] {
 				continue // paper requires xp != xn
 			}
-			repairSet[m.Cat.KB.Name(xp)] = true
+			repairSet[g.Name(xp)] = true
 			repaired = true
 		}
 		if repaired && witness == nil {
-			witness = m.witness(a, map[string]kb.ID{m.Rule.Neg.Name: firstXn})
+			witness = m.witness(g, a, map[string]kb.ID{m.Rule.Neg.Name: firstXn})
 		}
 	}
 	if len(repairSet) == 0 {
@@ -466,19 +475,19 @@ func (m *Matcher) evaluateEdgeDriven(t *relation.Tuple) Outcome {
 	}
 	sortRepairs(value, repairs)
 	return Outcome{Kind: Repair, MarkCols: m.markCols, RepairCol: m.Rule.Pos.Col,
-		Repairs: repairs, Canonical: m.canonicalEvidence(t, negAs), Witness: witness}
+		Repairs: repairs, Canonical: m.canonicalEvidence(g, t, negAs), Witness: witness}
 }
 
 // witness renders an assignment (plus optional extra bindings) as
 // node-name -> instance-name provenance.
-func (m *Matcher) witness(a Assignment, extra map[string]kb.ID) map[string]string {
+func (m *Matcher) witness(g *kb.Graph, a Assignment, extra map[string]kb.ID) map[string]string {
 	out := make(map[string]string, len(a)+len(extra))
 	for name, inst := range a {
-		out[name] = m.Cat.KB.Name(inst)
+		out[name] = g.Name(inst)
 	}
 	for name, inst := range extra {
 		if inst != kb.Invalid {
-			out[name] = m.Cat.KB.Name(inst)
+			out[name] = g.Name(inst)
 		}
 	}
 	return out
@@ -486,17 +495,17 @@ func (m *Matcher) witness(a Assignment, extra map[string]kb.ID) map[string]strin
 
 // evaluateValueDriven matches the full positive (then negative) graph
 // with value-retrieved candidate sets per node.
-func (m *Matcher) evaluateValueDriven(t *relation.Tuple) Outcome {
+func (m *Matcher) evaluateValueDriven(g *kb.Graph, t *relation.Tuple) Outcome {
 	// (1) Proof positive.
-	if as := findAssignments(m.Cat, m.Schema, t, m.posNodes, m.posEdges, assignmentCap, m.Scan); len(as) > 0 {
+	if as := findAssignments(g, m.Cat, m.Schema, t, m.posNodes, m.posEdges, assignmentCap, m.Scan); len(as) > 0 {
 		value := t.Values[m.posCol]
 		names := make(map[string]bool, len(as))
 		for _, a := range as {
-			names[m.Cat.KB.Name(a[m.Rule.Pos.Name])] = true
+			names[g.Name(a[m.Rule.Pos.Name])] = true
 		}
-		canon := m.canonicalEvidence(t, as)
+		canon := m.canonicalEvidence(g, t, as)
 		if names[value] {
-			return Outcome{Kind: Positive, MarkCols: m.markCols, Canonical: canon, Witness: m.witness(as[0], nil)}
+			return Outcome{Kind: Positive, MarkCols: m.markCols, Canonical: canon, Witness: m.witness(g, as[0], nil)}
 		}
 		repairs := make([]string, 0, len(names))
 		for v := range names {
@@ -511,18 +520,18 @@ func (m *Matcher) evaluateValueDriven(t *relation.Tuple) Outcome {
 	}
 	// Enumerate instance-level matches of evidence ∪ {neg}; for each,
 	// draw replacement instances for the positive node from the KB.
-	negAs := findAssignments(m.Cat, m.Schema, t, m.negNodes, m.negEdges, assignmentCap, m.Scan)
+	negAs := findAssignments(g, m.Cat, m.Schema, t, m.negNodes, m.negEdges, assignmentCap, m.Scan)
 	if len(negAs) == 0 {
 		return Outcome{Kind: NoMatch}
 	}
 	repairSet := make(map[string]bool)
 	for _, a := range negAs {
 		xn := a[m.Rule.Neg.Name]
-		for _, xp := range m.correctionCandidates(a) {
+		for _, xp := range m.correctionCandidates(g, a) {
 			if xp == xn {
 				continue // paper requires xp != xn
 			}
-			repairSet[m.Cat.KB.Name(xp)] = true
+			repairSet[g.Name(xp)] = true
 		}
 	}
 	if len(repairSet) == 0 {
@@ -537,14 +546,14 @@ func (m *Matcher) evaluateValueDriven(t *relation.Tuple) Outcome {
 	}
 	sortRepairs(t.Values[m.posCol], repairs)
 	return Outcome{Kind: Repair, MarkCols: m.markCols, RepairCol: m.Rule.Pos.Col,
-		Repairs: repairs, Canonical: m.canonicalEvidence(t, negAs)}
+		Repairs: repairs, Canonical: m.canonicalEvidence(g, t, negAs)}
 }
 
 // canonicalEvidence derives, for each evidence node whose tuple value
 // matched a KB instance only fuzzily, the canonical instance name — if
 // it is unique across the found assignments. Ambiguous matches are
 // left untouched.
-func (m *Matcher) canonicalEvidence(t *relation.Tuple, as []Assignment) map[string]string {
+func (m *Matcher) canonicalEvidence(g *kb.Graph, t *relation.Tuple, as []Assignment) map[string]string {
 	var canon map[string]string
 	for _, n := range m.Rule.Evidence {
 		if !n.Sim.Fuzzy() {
@@ -554,7 +563,7 @@ func (m *Matcher) canonicalEvidence(t *relation.Tuple, as []Assignment) map[stri
 		unique := ""
 		ambiguous := false
 		for _, a := range as {
-			name := m.Cat.KB.Name(a[n.Name])
+			name := g.Name(a[n.Name])
 			if name == value {
 				// The raw value itself is a KB instance: keep it.
 				unique = ""
@@ -600,8 +609,8 @@ func sortRepairs(value string, repairs []string) {
 
 // correctionCandidates computes the KB instances that can stand as the
 // positive node given an evidence assignment.
-func (m *Matcher) correctionCandidates(evidence Assignment) []kb.ID {
-	return m.poleCandidates(evidence, m.posNodes, m.posEdges, m.Rule.Pos, m.posIncident)
+func (m *Matcher) correctionCandidates(g *kb.Graph, evidence Assignment) []kb.ID {
+	return m.poleCandidates(g, evidence, m.posNodes, m.posEdges, m.Rule.Pos, m.posIncident)
 }
 
 // poleCandidates computes the KB instances that can stand as the
@@ -610,10 +619,10 @@ func (m *Matcher) correctionCandidates(evidence Assignment) []kb.ID {
 // path nodes the side graph is traversed existentially (the §II-C
 // path extension), collecting every pole instance reachable through
 // type-consistent intermediate instances.
-func (m *Matcher) poleCandidates(evidence Assignment, sideNodes []Node, sideEdges []Edge,
+func (m *Matcher) poleCandidates(g *kb.Graph, evidence Assignment, sideNodes []Node, sideEdges []Edge,
 	pole Node, incident []Edge) []kb.ID {
 	if len(m.Rule.Path) == 0 {
-		return m.nodeCandidates(evidence, pole, incident)
+		return m.nodeCandidates(g, evidence, pole, incident)
 	}
 
 	// Partition side-graph nodes into seeded (evidence) and
@@ -660,7 +669,7 @@ func (m *Matcher) poleCandidates(evidence Assignment, sideNodes []Node, sideEdge
 		if _, seeded := cur[name]; seeded {
 			return rec(step + 1)
 		}
-		for _, inst := range lazyCandidates(m.Cat, lazyNodes, sideEdges, cur, ni) {
+		for _, inst := range lazyCandidates(g, lazyNodes, sideEdges, cur, ni) {
 			expansions++
 			cur[name] = inst
 			if rec(step + 1) {
@@ -684,8 +693,7 @@ func (m *Matcher) poleCandidates(evidence Assignment, sideNodes []Node, sideEdge
 // given an evidence assignment: the intersection of the relationship
 // neighbourhoods demanded by every incident edge, filtered by the
 // node's type.
-func (m *Matcher) nodeCandidates(evidence Assignment, node Node, incident []Edge) []kb.ID {
-	g := m.Cat.KB
+func (m *Matcher) nodeCandidates(g *kb.Graph, evidence Assignment, node Node, incident []Edge) []kb.ID {
 	cls := g.Lookup(node.Type)
 	if cls == kb.Invalid {
 		return nil
@@ -746,27 +754,36 @@ func (m *Matcher) nodeCandidates(evidence Assignment, node Node, incident []Edge
 // the unit the fast repair engine memoizes across rules (Figure 5 node
 // keys).
 func (m *Matcher) NodeCheck(t *relation.Tuple, n Node) bool {
+	return m.NodeCheckOn(m.Cat.Graph(), t, n)
+}
+
+// NodeCheckOn is NodeCheck against a pinned graph.
+func (m *Matcher) NodeCheckOn(g *kb.Graph, t *relation.Tuple, n Node) bool {
 	col := m.Schema.Col(n.Col)
 	if col < 0 {
 		return false
 	}
-	return m.Cat.HasCandidate(n.Type, n.Sim, t.Values[col])
+	return m.Cat.HasCandidateOn(g, n.Type, n.Sim, t.Values[col])
 }
 
 // EdgeCheck reports whether t can match edge e at the value level:
 // some pair of candidate instances of the endpoint nodes is connected
 // by e's relationship. from and to are the endpoint nodes of e.
 func (m *Matcher) EdgeCheck(t *relation.Tuple, e Edge, from, to Node) bool {
-	g := m.Cat.KB
+	return m.EdgeCheckOn(m.Cat.Graph(), t, e, from, to)
+}
+
+// EdgeCheckOn is EdgeCheck against a pinned graph.
+func (m *Matcher) EdgeCheckOn(g *kb.Graph, t *relation.Tuple, e Edge, from, to Node) bool {
 	rel := g.Lookup(e.Rel)
 	if rel == kb.Invalid {
 		return false
 	}
-	fc := m.Cat.Candidates(from.Type, from.Sim, t.Values[m.Schema.MustCol(from.Col)])
+	fc := m.Cat.CandidatesOn(g, from.Type, from.Sim, t.Values[m.Schema.MustCol(from.Col)])
 	if len(fc) == 0 {
 		return false
 	}
-	tc := m.Cat.Candidates(to.Type, to.Sim, t.Values[m.Schema.MustCol(to.Col)])
+	tc := m.Cat.CandidatesOn(g, to.Type, to.Sim, t.Values[m.Schema.MustCol(to.Col)])
 	if len(tc) == 0 {
 		return false
 	}

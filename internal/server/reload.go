@@ -1,0 +1,88 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"detective/internal/kb"
+	"detective/internal/telemetry"
+)
+
+// ReloadKB publishes a replacement knowledge-base graph with zero
+// downtime: in-flight tuples finish on the graph they pinned at entry,
+// every tuple started after the swap sees the new one, and the
+// generation bump invalidates the candidate cache and signature
+// indexes coherently. loadTime is the wall time the caller spent
+// building g (parsing text or decoding a snapshot); pass 0 when
+// unknown. Returns the generation now being served.
+//
+// Safe to call concurrently with cleaning requests; concurrent
+// reloads serialize on the swap mutex.
+func (s *Server) ReloadKB(g *kb.Graph, loadTime time.Duration) int64 {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	old := s.store.Swap(g)
+	gen := s.store.Generation()
+	s.reloadTotal.Inc()
+	if loadTime > 0 {
+		s.loadSeconds.Set(loadTime.Seconds())
+	}
+	// Pre-warm the new generation's signature indexes off the request
+	// path, exactly like server construction does, so the first
+	// post-swap request does not pay the index build.
+	s.engine.Warm()
+	s.log.Info("kb reloaded",
+		"generation", gen,
+		"nodes", g.NumNodes(),
+		"triples", g.NumTriples(),
+		"old_generation", old.Generation(),
+		"load_seconds", loadTime.Seconds())
+	return gen
+}
+
+// Store exposes the server's KB store, e.g. for tests or callers that
+// swap graphs directly rather than through ReloadKB.
+func (s *Server) Store() *kb.Store { return s.store }
+
+// reloadResponse is the JSON shape of POST /reload.
+type reloadResponse struct {
+	Generation  int64   `json:"generation"`
+	Swaps       int64   `json:"swaps"`
+	LoadSeconds float64 `json:"loadSeconds"`
+	Nodes       int     `json:"nodes"`
+	Triples     int     `json:"triples"`
+}
+
+// ReloadHandler returns the admin POST /reload handler for the ops
+// mux (it is deliberately not registered on the public listener). On
+// each request it calls load — typically re-reading the -kb or
+// -kb-snapshot file — and, on success, hot-swaps the result in via
+// ReloadKB. Load failures leave the serving graph untouched and
+// answer 500 with the error, so a bad file on disk can never take
+// down a healthy server.
+func (s *Server) ReloadHandler(load func() (*kb.Graph, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		start := time.Now()
+		g, err := load()
+		if err != nil {
+			s.log.Error("kb reload failed; keeping current graph",
+				"error", err,
+				"request_id", telemetry.RequestID(r.Context()))
+			writeError(w, http.StatusInternalServerError, "reload failed: %v", err)
+			return
+		}
+		loadTime := time.Since(start)
+		gen := s.ReloadKB(g, loadTime)
+		writeJSON(w, reloadResponse{
+			Generation:  gen,
+			Swaps:       s.store.Swaps(),
+			LoadSeconds: loadTime.Seconds(),
+			Nodes:       g.NumNodes(),
+			Triples:     g.NumTriples(),
+		})
+	})
+}

@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -118,7 +119,7 @@ func (c Config) withDefaults() Config {
 // Server handles cleaning requests for one (rules, KB, schema) triple.
 type Server struct {
 	engine *repair.Engine
-	kbase  *kb.Graph
+	store  *kb.Store
 	rules  []*rules.DR
 	schema *relation.Schema
 	mux    *http.ServeMux
@@ -127,11 +128,20 @@ type Server struct {
 	sem    chan struct{} // cleaning-concurrency semaphore
 	ready  atomic.Bool   // readiness: warmed and not draining
 
+	// reloadMu serializes ReloadKB: one load-and-swap at a time, so an
+	// operator hammering POST /reload cannot interleave half-built
+	// graphs. Cleaning requests never take it — they pin a graph per
+	// tuple and are oblivious to swaps.
+	reloadMu sync.Mutex
+
 	// Overload/limit counters, exported through the telemetry registry
 	// next to the middleware's per-route metrics.
 	shedTotal     *telemetry.Counter // 429: concurrency limit
 	tooLargeTotal *telemetry.Counter // 413: body over MaxBodyBytes
 	timeoutTotal  *telemetry.Counter // request deadline expiries
+
+	reloadTotal *telemetry.Counter // completed KB hot-swaps
+	loadSeconds *telemetry.Gauge   // wall time of the last KB load
 }
 
 // New builds the server with default Config and pre-warms the
@@ -142,8 +152,16 @@ func New(drs []*rules.DR, g *kb.Graph, schema *relation.Schema) (*Server, error)
 
 // NewWithConfig is New with explicit fault-tolerance settings.
 func NewWithConfig(drs []*rules.DR, g *kb.Graph, schema *relation.Schema, cfg Config) (*Server, error) {
+	return NewWithStore(drs, kb.NewStore(g), schema, cfg)
+}
+
+// NewWithStore builds the server on a caller-owned kb.Store, the
+// hot-swap shape: the caller (cmd/detectived's SIGHUP handler, tests)
+// can later publish a replacement graph through ReloadKB or the store
+// itself while requests keep streaming.
+func NewWithStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	e, err := repair.NewEngineWithOptions(drs, g, schema, repair.Options{
+	e, err := repair.NewEngineStore(drs, store, schema, repair.Options{
 		Workers:   cfg.StreamWorkers,
 		ChunkSize: cfg.StreamChunkSize,
 	})
@@ -151,10 +169,9 @@ func NewWithConfig(drs []*rules.DR, g *kb.Graph, schema *relation.Schema, cfg Co
 		return nil, err
 	}
 	e.Warm()
-	g.Freeze()
 	s := &Server{
 		engine: e,
-		kbase:  g,
+		store:  store,
 		rules:  drs,
 		schema: schema,
 		mux:    http.NewServeMux(),
@@ -170,6 +187,13 @@ func NewWithConfig(drs []*rules.DR, g *kb.Graph, schema *relation.Schema, cfg Co
 		"Requests rejected with 413 because the body exceeded the limit.")
 	s.timeoutTotal = reg.Counter("detective_http_timeout_total",
 		"Requests whose per-request deadline expired.")
+	s.reloadTotal = reg.Counter("detective_kb_reload_total",
+		"Knowledge-base hot-swaps completed (ReloadKB / POST /reload / SIGHUP).")
+	s.loadSeconds = reg.Gauge("detective_kb_load_seconds",
+		"Wall-clock seconds the most recent KB load (parse or snapshot decode) took.")
+	reg.GaugeFunc("detective_kb_generation",
+		"Generation of the currently served knowledge-base graph.",
+		func() float64 { return float64(store.Generation()) })
 	registerCacheMetrics(reg, e.Cat)
 
 	httpm := telemetry.NewHTTPMetrics(reg, "detective")
@@ -523,6 +547,11 @@ type StatsResponse struct {
 	Rules  int          `json:"rules"`
 	KB     kb.Stats     `json:"kb"`
 	Repair repair.Stats `json:"repair"`
+	// KBGeneration identifies the graph currently being served;
+	// KBSwaps counts hot reloads since startup. Both move together
+	// when ReloadKB publishes a new graph.
+	KBGeneration int64 `json:"kbGeneration"`
+	KBSwaps      int64 `json:"kbSwaps"`
 	// CandidateCache is the catalog's cross-tuple candidate cache;
 	// SignatureIndex is the per-class signature indexes behind it. The
 	// same numbers are exported as Prometheus series on the ops port.
@@ -533,11 +562,14 @@ type StatsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	ch, cm, cn := s.engine.Cat.CacheStats()
 	ih, im, in := s.engine.Cat.IndexStats()
+	g := s.store.Graph() // pin: stats describe one coherent graph
 	writeJSON(w, StatsResponse{
 		Schema:         s.schema.Attrs,
 		Rules:          len(s.rules),
-		KB:             s.kbase.ComputeStats(5),
+		KB:             g.ComputeStats(5),
 		Repair:         s.engine.Stats(),
+		KBGeneration:   g.Generation(),
+		KBSwaps:        s.store.Swaps(),
 		CandidateCache: CacheStats{Hits: ch, Misses: cm, Size: cn},
 		SignatureIndex: CacheStats{Hits: ih, Misses: im, Size: in},
 	})
