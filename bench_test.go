@@ -18,6 +18,7 @@ import (
 	"detective/internal/dataset"
 	"detective/internal/eval"
 	"detective/internal/katara"
+	"detective/internal/relation"
 	"detective/internal/repair"
 )
 
@@ -120,11 +121,17 @@ func BenchmarkFigure8d(b *testing.B) {
 
 // --- per-tuple engine micro-benchmarks -------------------------------
 
+// nobelEngine builds the micro-benchmark engine with the repair memo
+// off: these series measure the cold repair kernel, and a warm memo
+// would collapse them into cache lookups after the first pass over
+// the corpus. BenchmarkFastRepairTupleMemoHit tracks the memoized
+// path separately.
 func nobelEngine(b *testing.B, n int) (*dataset.Bundle, *dataset.Injected, *repair.Engine) {
 	b.Helper()
 	bundle := dataset.NewNobel(1, n)
 	inj := bundle.Inject(dataset.Noise{Rate: 0.10, TypoFrac: 0.5, Seed: 1})
-	e, err := repair.NewEngine(bundle.Rules, bundle.Yago, bundle.Schema)
+	e, err := repair.NewEngineWithOptions(bundle.Rules, bundle.Yago, bundle.Schema,
+		repair.Options{MemoDisabled: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -154,6 +161,36 @@ func BenchmarkFastRepairTuple(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.FastRepair(inj.Dirty.Tuples[i%inj.Dirty.Len()])
+	}
+}
+
+// BenchmarkFastRepairTupleMemoHit is the warm half of the memo story:
+// every iteration replays rows already resident in the tuple tier via
+// the allocation-free RepairRow API. The contract tracked across PRs
+// is sub-microsecond ns/op and 0 allocs/op.
+func BenchmarkFastRepairTupleMemoHit(b *testing.B) {
+	bundle := dataset.NewNobel(1, 500)
+	inj := bundle.Inject(dataset.Noise{Rate: 0.10, TypoFrac: 0.5, Seed: 1})
+	e, err := repair.NewEngine(bundle.Rules, bundle.Yago, bundle.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Warm()
+	recs := make([][]string, inj.Dirty.Len())
+	dst := &relation.Tuple{
+		Values: make([]string, len(bundle.Schema.Attrs)),
+		Marked: make([]bool, len(bundle.Schema.Attrs)),
+	}
+	for i, t := range inj.Dirty.Tuples {
+		recs[i] = t.Values
+		e.RepairRow(dst, t.Values) // populate the memo
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hit := e.RepairRow(dst, recs[i%len(recs)]); !hit {
+			b.Fatal("warm repair missed the memo")
+		}
 	}
 }
 
@@ -197,6 +234,7 @@ func BenchmarkEngineConstruction(b *testing.B) {
 func benchAblation(b *testing.B, opts repair.Options) {
 	bundle := dataset.NewUIS(1, 1500)
 	inj := bundle.Inject(dataset.Noise{Rate: 0.10, TypoFrac: 0.5, Seed: 1})
+	opts.MemoDisabled = true // ablations contrast the cold kernel
 	e, err := repair.NewEngineWithOptions(bundle.Rules, bundle.Yago, bundle.Schema, opts)
 	if err != nil {
 		b.Fatal(err)
@@ -219,7 +257,8 @@ func BenchmarkAblationNoIndexes(b *testing.B) { benchAblation(b, repair.Options{
 func BenchmarkRepairTableParallel(b *testing.B) {
 	bundle := dataset.NewUIS(1, 1500)
 	inj := bundle.Inject(dataset.Noise{Rate: 0.10, TypoFrac: 0.5, Seed: 1})
-	e, err := repair.NewEngine(bundle.Rules, bundle.Yago, bundle.Schema)
+	e, err := repair.NewEngineWithOptions(bundle.Rules, bundle.Yago, bundle.Schema,
+		repair.Options{MemoDisabled: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -242,6 +281,49 @@ func BenchmarkCleanCSVStreamParallel(b *testing.B) {
 	bundle := dataset.NewNobel(1, 400)
 	inj := bundle.Inject(dataset.Noise{Rate: 0.30, TypoFrac: 0.5, Seed: 1})
 	corpus := dataset.DuplicateBursts(inj.Dirty, 1, 16)
+	var buf bytes.Buffer
+	if err := corpus.WriteCSV(&buf); err != nil {
+		b.Fatal(err)
+	}
+	input := buf.String()
+
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e, err := repair.NewEngineWithOptions(bundle.Rules, bundle.Yago, bundle.Schema,
+				repair.Options{Workers: workers, MemoDisabled: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Warm()
+			b.ReportAllocs()
+			b.SetBytes(int64(len(input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := e.CleanCSVStreamContext(context.Background(),
+					strings.NewReader(input), io.Discard, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rows != corpus.Len() {
+					b.Fatalf("streamed %d of %d rows", res.Rows, corpus.Len())
+				}
+			}
+			b.ReportMetric(float64(corpus.Len()*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkCleanCSVStreamZipf measures streaming rows/sec on a
+// Zipf-skewed corpus (s=1.1 over the Nobel dirty rows — the
+// head-heavy shape of real dirty feeds) with the global repair memo
+// on. Contrast with BenchmarkCleanCSVStreamParallel, which runs the
+// same pipeline widths memo-disabled on the duplicate-burst corpus:
+// on the skewed corpus the memo serves the hot head from cache, so
+// rows/s should sit well above the memo-disabled series.
+func BenchmarkCleanCSVStreamZipf(b *testing.B) {
+	bundle := dataset.NewNobel(1, 400)
+	inj := bundle.Inject(dataset.Noise{Rate: 0.30, TypoFrac: 0.5, Seed: 1})
+	corpus := dataset.ZipfTable(inj.Dirty, 1, 1.1, 8192)
 	var buf bytes.Buffer
 	if err := corpus.WriteCSV(&buf); err != nil {
 		b.Fatal(err)

@@ -6,9 +6,16 @@
 //	datagen -dataset uis -n 100000 -out ./data/uis
 //	datagen -dataset webtables -out ./data/webtables
 //	datagen -dataset paper -out ./data/paper
+//	datagen -dataset nobel -n 400 -zipf 1.1 -zipf-rows 8192 -out ./data/zipf
 //
 // Each run writes truth.csv, dirty.csv, rules.dr, kb_yago.nt and
-// kb_dbpedia.nt (WebTables writes one CSV pair per table).
+// kb_dbpedia.nt (WebTables writes one CSV pair per table). With
+// -zipf s (nobel/uis; the Zipf law needs s > 1) it additionally
+// writes zipf.csv: -zipf-rows rows drawn from dirty.csv with
+// Zipf-distributed row popularity of skew s — the duplicate-heavy
+// stream shape the repair memo benchmarks and the nightly lane
+// replay. The draw is fully determined by -seed, -n, -zipf and
+// -zipf-rows, so corpora are reproducible anywhere.
 package main
 
 import (
@@ -29,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	noise := flag.Float64("noise", 0.10, "error rate for dirty.csv")
 	typo := flag.Float64("typo", 0.5, "typo share of injected errors")
+	zipf := flag.Float64("zipf", 0, "also write zipf.csv: Zipf-skewed stream over dirty.csv rows with this skew s (> 1; nobel/uis only; 0 = off)")
+	zipfRows := flag.Int("zipf-rows", 8192, "rows in zipf.csv when -zipf is set")
 	outDir := flag.String("out", ".", "output directory")
 	flag.Parse()
 
@@ -58,6 +67,12 @@ func main() {
 			b.Name, b.Truth.Len(), len(inj.Wrong), inj.Typos, inj.Semantics)
 		fmt.Printf("  kb_yago:    %v\n", b.Yago.ComputeStats(0))
 		fmt.Printf("  kb_dbpedia: %v\n", b.DBpedia.ComputeStats(0))
+		if *zipf > 0 {
+			zt := dataset.ZipfTable(inj.Dirty, *seed, *zipf, *zipfRows)
+			writeTable(*outDir, "zipf.csv", zt)
+			fmt.Printf("  zipf.csv:   %d rows, skew %.2f over %d distinct dirty rows\n",
+				zt.Len(), *zipf, inj.Dirty.Len())
+		}
 	case "webtables":
 		wb := dataset.NewWebTables(*seed)
 		for i, d := range wb.Tables {

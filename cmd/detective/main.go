@@ -47,6 +47,8 @@ func main() {
 	stream := flag.Bool("stream", false, "clean row by row without materializing the table (bounded memory)")
 	workers := flag.Int("workers", 0, "streaming repair workers with -stream (0 or 1 = serial; >1 = parallel pipeline)")
 	chunk := flag.Int("chunk", 0, "rows per pipeline chunk with -stream -workers > 1 (0 = default)")
+	memoBytes := flag.Int64("memo-bytes", 0, "byte budget of the repair memo serving repeated rows and hot values from cache (0 = default 64 MiB, negative = off)")
+	noMemo := flag.Bool("no-memo", false, "disable the repair memo")
 	flag.Parse()
 
 	if *kbPath == "" || *rulesPath == "" || *inPath == "" {
@@ -67,13 +69,15 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		streamClean(g, rs, *name, *inPath, *outPath, *marked, *workers, *chunk)
+		streamClean(g, rs, *name, *inPath, *outPath, *marked, *workers, *chunk,
+			detective.EngineOptions{MemoBytes: *memoBytes, MemoDisabled: *noMemo})
 		return
 	}
 
 	tb := readCSV(*name, *inPath)
 
-	c, err := detective.NewCleaner(rs, g, tb.Schema)
+	c, err := detective.NewCleanerWithOptions(rs, g, tb.Schema,
+		detective.EngineOptions{MemoBytes: *memoBytes, MemoDisabled: *noMemo})
 	fail(err)
 
 	if *checkConsistency {
@@ -156,7 +160,7 @@ func main() {
 // only the header is pre-read (to build the schema), so memory stays
 // bounded by the pipeline's O(workers×chunk) window regardless of the
 // input size.
-func streamClean(g *detective.KB, rs []*detective.Rule, name, inPath, outPath string, marked bool, workers, chunk int) {
+func streamClean(g *detective.KB, rs []*detective.Rule, name, inPath, outPath string, marked bool, workers, chunk int, opts detective.EngineOptions) {
 	f, err := os.Open(inPath)
 	fail(err)
 	defer f.Close()
@@ -175,8 +179,9 @@ func streamClean(g *detective.KB, rs []*detective.Rule, name, inPath, outPath st
 	fail(err)
 	schema := detective.NewSchema(name, attrs...)
 
-	c, err := detective.NewCleanerWithOptions(rs, g, schema,
-		detective.EngineOptions{Workers: workers, ChunkSize: chunk})
+	opts.Workers = workers
+	opts.ChunkSize = chunk
+	c, err := detective.NewCleanerWithOptions(rs, g, schema, opts)
 	fail(err)
 
 	out := os.Stdout

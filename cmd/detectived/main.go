@@ -53,6 +53,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
 	streamWorkers := flag.Int("stream-workers", 0, "repair workers per /clean stream (0 or 1 = serial; >1 = chunked parallel pipeline)")
 	streamChunk := flag.Int("stream-chunk", 0, "rows per pipeline chunk when -stream-workers > 1 (0 = default)")
+	memoBytes := flag.Int64("memo-bytes", 0, "byte budget of the cross-request repair memo (0 = default 64 MiB, negative = off)")
+	noMemo := flag.Bool("no-memo", false, "disable the cross-request repair memo")
 	flag.Parse()
 
 	var level slog.Level
@@ -112,6 +114,8 @@ func main() {
 		Logger:          log,
 		StreamWorkers:   *streamWorkers,
 		StreamChunkSize: *streamChunk,
+		MemoBytes:       *memoBytes,
+		MemoDisabled:    *noMemo,
 	})
 	fail(log, err)
 

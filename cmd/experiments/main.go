@@ -28,6 +28,7 @@ import (
 	"detective/internal/dataset"
 	"detective/internal/eval"
 	"detective/internal/kb"
+	"detective/internal/relation"
 	"detective/internal/repair"
 )
 
@@ -199,17 +200,35 @@ func writeRepairBench(path string) error {
 	}
 	defer f.Close()
 
+	// The per-tuple and table series run memo-disabled: they track the
+	// cold repair kernel, which a warm memo would mask. The memoized
+	// path gets its own series (FastRepairTupleMemoHit, CleanCSVStreamZipf*).
 	nobel := dataset.NewNobel(1, 500)
 	nobelInj := nobel.Inject(dataset.Noise{Rate: 0.10, TypoFrac: 0.5, Seed: 1})
-	ne, err := repair.NewEngine(nobel.Rules, nobel.Yago, nobel.Schema)
+	ne, err := repair.NewEngineWithOptions(nobel.Rules, nobel.Yago, nobel.Schema,
+		repair.Options{MemoDisabled: true})
 	if err != nil {
 		return err
 	}
 	ne.Warm()
 
+	me, err := repair.NewEngine(nobel.Rules, nobel.Yago, nobel.Schema)
+	if err != nil {
+		return err
+	}
+	me.Warm()
+	memoDst := &relation.Tuple{
+		Values: make([]string, len(nobel.Schema.Attrs)),
+		Marked: make([]bool, len(nobel.Schema.Attrs)),
+	}
+	for _, t := range nobelInj.Dirty.Tuples {
+		me.RepairRow(memoDst, t.Values) // warm the memo for the hit series
+	}
+
 	uis := dataset.NewUIS(1, 1500)
 	uisInj := uis.Inject(dataset.Noise{Rate: 0.10, TypoFrac: 0.5, Seed: 1})
-	ue, err := repair.NewEngine(uis.Rules, uis.Yago, uis.Schema)
+	ue, err := repair.NewEngineWithOptions(uis.Rules, uis.Yago, uis.Schema,
+		repair.Options{MemoDisabled: true})
 	if err != nil {
 		return err
 	}
@@ -229,6 +248,14 @@ func writeRepairBench(path string) error {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ne.FastRepair(nobelInj.Dirty.Tuples[i%nobelInj.Dirty.Len()])
+			}
+		})),
+		record("FastRepairTupleMemoHit", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, hit := me.RepairRow(memoDst, nobelInj.Dirty.Tuples[i%nobelInj.Dirty.Len()].Values); !hit {
+					b.Fatal("warm repair missed the memo")
+				}
 			}
 		})),
 		record("BasicRepairTuple", testing.Benchmark(func(b *testing.B) {
@@ -261,7 +288,7 @@ func writeRepairBench(path string) error {
 		workers int
 	}{{"CleanCSVStreamSerial", 1}, {"CleanCSVStreamParallel8", 8}} {
 		se, err := repair.NewEngineWithOptions(streamNobel.Rules, streamNobel.Yago, streamNobel.Schema,
-			repair.Options{Workers: bench.workers})
+			repair.Options{Workers: bench.workers, MemoDisabled: true})
 		if err != nil {
 			return err
 		}
@@ -271,6 +298,37 @@ func writeRepairBench(path string) error {
 			for i := 0; i < b.N; i++ {
 				if _, err := se.CleanCSVStreamContext(context.Background(),
 					strings.NewReader(input), io.Discard, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+	}
+
+	// Zipf-skewed corpus with the global memo on: the head-heavy
+	// distribution is where cross-request memoization pays, and the
+	// serial/8-worker pair shows whether the memo-hit path or the
+	// pipeline wins at this skew (same corpus as BenchmarkCleanCSVStreamZipf).
+	zipfCorpus := dataset.ZipfTable(streamInj.Dirty, 1, 1.1, 8192)
+	var zbuf bytes.Buffer
+	if err := zipfCorpus.WriteCSV(&zbuf); err != nil {
+		return err
+	}
+	zinput := zbuf.String()
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"CleanCSVStreamZipfSerial", 1}, {"CleanCSVStreamZipf8", 8}} {
+		ze, err := repair.NewEngineWithOptions(streamNobel.Rules, streamNobel.Yago, streamNobel.Schema,
+			repair.Options{Workers: bench.workers})
+		if err != nil {
+			return err
+		}
+		ze.Warm()
+		results = append(results, record(bench.name, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ze.CleanCSVStreamContext(context.Background(),
+					strings.NewReader(zinput), io.Discard, true); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,7 +1,9 @@
 package dataset_test
 
 import (
+	"bytes"
 	"math/rand"
+	"os"
 	"testing"
 	"testing/quick"
 
@@ -295,5 +297,56 @@ func TestSemanticAlternativesAreConfusable(t *testing.T) {
 	}
 	if found == 0 {
 		t.Fatal("no semantic City alternatives generated")
+	}
+}
+
+// TestZipfTableDeterminism locks the Zipf corpus generator to the
+// checked-in sample: the memo benchmarks and the nightly lane replay
+// exactly this stream, so the draw must be reproducible across
+// machines and Go releases for the numbers to be comparable.
+func TestZipfTableDeterminism(t *testing.T) {
+	b := dataset.NewNobel(7, 64)
+	inj := b.Inject(dataset.Noise{Rate: 0.3, TypoFrac: 0.5, Seed: 7})
+	zt := dataset.ZipfTable(inj.Dirty, 7, 1.1, 256)
+
+	var buf bytes.Buffer
+	if err := zt.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("../../testdata/zipf_sample.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("ZipfTable(nobel seed=7 n=64 noise=0.3, seed=7, s=1.1, n=256) diverged from testdata/zipf_sample.csv\n(regenerate with: datagen -dataset nobel -n 64 -seed 7 -noise 0.3 -zipf 1.1 -zipf-rows 256)")
+	}
+}
+
+// TestZipfTableSkew sanity-checks the distribution shape: the hottest
+// row must dominate a uniform draw's share, and the clamped s <= 1
+// path must still terminate and fill the request.
+func TestZipfTableSkew(t *testing.T) {
+	b := dataset.NewNobel(3, 100)
+	zt := dataset.ZipfTable(b.Truth, 3, 1.1, 5000)
+	if zt.Len() != 5000 {
+		t.Fatalf("len = %d, want 5000", zt.Len())
+	}
+	counts := map[string]int{}
+	for _, tu := range zt.Tuples {
+		counts[tu.Values[0]]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Uniform would give ~50 per row; Zipf s=1.1 concentrates far
+	// more than 5x that on the head.
+	if max < 250 {
+		t.Errorf("hottest row drawn %d times; want Zipf head concentration (>= 250 of 5000)", max)
+	}
+	if got := dataset.ZipfTable(b.Truth, 3, 0.5, 100).Len(); got != 100 {
+		t.Errorf("clamped skew corpus has %d rows, want 100", got)
 	}
 }

@@ -26,3 +26,29 @@ func DuplicateBursts(tb *relation.Table, seed int64, maxBurst int) *relation.Tab
 	}
 	return out
 }
+
+// ZipfTable draws n rows from tb with Zipf-distributed row popularity
+// of skew s: a handful of rows dominate the stream while a long tail
+// appears once or twice — the value-frequency skew of real dirty
+// feeds (HoloClean's observation that error signals concentrate on
+// few recurring values) and the workload the cross-request repair
+// memo is built for. The popularity ranking is a seeded shuffle of
+// tb, so rank is independent of input order; the draw sequence is
+// fully determined by (tb, seed, s, n). The Zipf law requires s > 1;
+// smaller values are clamped to just above 1 (near-uniform).
+func ZipfTable(tb *relation.Table, seed int64, s float64, n int) *relation.Table {
+	if tb.Len() == 0 || n <= 0 {
+		return &relation.Table{Schema: tb.Schema}
+	}
+	if s <= 1 {
+		s = 1.0000001
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(tb.Len())
+	z := rand.NewZipf(rng, s, 1, uint64(tb.Len()-1))
+	out := &relation.Table{Schema: tb.Schema, Tuples: make([]*relation.Tuple, 0, n)}
+	for i := 0; i < n; i++ {
+		out.Tuples = append(out.Tuples, tb.Tuples[perm[z.Uint64()]].Clone())
+	}
+	return out
+}

@@ -78,15 +78,22 @@ type Engine struct {
 	// instr exports outcome counters and sampled latency histograms to
 	// the process-wide telemetry registry.
 	instr *engineInstr
+
+	// memo is the global cross-request repair memo (see memo.go); nil
+	// when Options.MemoDisabled or a negative MemoBytes turned it off.
+	memo *repairMemo
 }
 
 // check is one memoizable value-level test, identified by its dense
 // ID. Edge checks carry no payload: they are only consulted when
-// already memoized (see fastStep).
+// already memoized (see fastStep). col is the schema column a node
+// check reads (-1 for edges and unknown columns), used to key the
+// cross-request cell memo by the cell's current value.
 type check struct {
 	id     int32
 	node   rules.Node
 	isEdge bool
+	col    int32
 }
 
 // Tri-state memo values: a check is unknown until computed for the
@@ -142,6 +149,19 @@ type Options struct {
 	// latency. 0 picks DefaultStreamChunkSize. Ignored on the serial
 	// path.
 	ChunkSize int
+
+	// MemoBytes is the byte budget of the global cross-request repair
+	// memo (memo.go), shared by its tuple and cell tiers. 0 picks
+	// DefaultMemoBytes; a negative value disables the memo, same as
+	// MemoDisabled. The memo never changes repair results — replays
+	// are byte-identical and hot KB reloads invalidate it by
+	// generation — so the only reasons to turn it off are measurement
+	// (ablations, benchmarks of the uncached path) and memory-starved
+	// deployments.
+	MemoBytes int64
+
+	// MemoDisabled turns the global repair memo off entirely.
+	MemoDisabled bool
 }
 
 // NewEngine validates the rules and builds matchers, the rule graph,
@@ -217,7 +237,7 @@ func NewEngineStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, o
 		var evs []check
 		for _, n := range dr.Evidence {
 			id := idOf(n.Key(), n.Col)
-			evs = append(evs, check{id: id, node: n})
+			evs = append(evs, check{id: id, node: n, col: int32(schema.Col(n.Col))})
 			e.evIndex[id] = append(e.evIndex[id], i)
 		}
 		evSet := make(map[string]bool, len(dr.Evidence))
@@ -231,7 +251,7 @@ func NewEngineStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, o
 			switch {
 			case evSet[ed.From] && evSet[ed.To]:
 				id := idOf(k, from.Col, to.Col)
-				evs = append(evs, check{id: id, isEdge: true})
+				evs = append(evs, check{id: id, isEdge: true, col: -1})
 				e.evIndex[id] = append(e.evIndex[id], i)
 			case ed.From == dr.Pos.Name || ed.To == dr.Pos.Name:
 				posEdgeIDs = append(posEdgeIDs, idOf(k, from.Col, to.Col))
@@ -258,6 +278,14 @@ func NewEngineStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, o
 		e.stepBudget = 16*len(drs) + 64
 	}
 	e.instr = newEngineInstr(opts.TelemetrySampleEvery)
+	if !opts.MemoDisabled && opts.MemoBytes >= 0 {
+		budget := opts.MemoBytes
+		if budget == 0 {
+			budget = DefaultMemoBytes
+		}
+		e.memo = newRepairMemo(schema, budget)
+		e.instr.registerMemo(e.memo)
+	}
 	return e, nil
 }
 
@@ -410,12 +438,33 @@ func (e *Engine) fastRepair(t *relation.Tuple, alts map[string][]string) *relati
 	return cl
 }
 
-// fastRepairOutcome is the uncounted core of fastRepair: it returns
-// the repaired clone, or an untouched clone of the original together
-// with tupleBudgetExhausted when the step budget ran out.
+// fastRepairOutcome is the uncounted core of fastRepair, fronted by
+// the global memo: a hit replays the cached result byte-identically;
+// a miss runs the repair and memoizes it under the generation it
+// pinned. Multi-version runs (alts != nil) bypass the memo — they
+// record per-cell candidate lists the memo does not store.
 func (e *Engine) fastRepairOutcome(t *relation.Tuple, alts map[string][]string) (*relation.Tuple, tupleOutcome) {
+	g := e.Cat.Graph()
+	if e.memo == nil || alts != nil {
+		return e.fastRepairOutcomeOn(g, t, alts)
+	}
+	gen := g.Generation()
+	fp := e.memo.tupleFP(t.Values, t.Marked)
+	if cl, oc, ok := e.memo.getTupleClone(gen, fp, t.Values, t.Marked); ok {
+		return cl, oc
+	}
+	cl, oc := e.fastRepairOutcomeOn(g, t, nil)
+	e.memo.putTuple(gen, fp, t.Values, t.Marked, cl, oc, true)
+	return cl, oc
+}
+
+// fastRepairOutcomeOn is fastRepairOutcome's uncached core, pinned to
+// g for the whole tuple. It returns the repaired clone, or an
+// untouched clone of the original together with tupleBudgetExhausted
+// when the step budget ran out.
+func (e *Engine) fastRepairOutcomeOn(g *kb.Graph, t *relation.Tuple, alts map[string][]string) (*relation.Tuple, tupleOutcome) {
 	cl := t.Clone()
-	st := e.getState()
+	st := e.getStateOn(g)
 	st.alts = alts
 	ok := e.runFast(cl, st)
 	e.putState(st)
@@ -434,15 +483,39 @@ func (e *Engine) fastRepairOutcome(t *relation.Tuple, alts map[string][]string) 
 // the engine keeps going. The panicking repair's pooled state is
 // deliberately abandoned rather than recycled. The outcome is tallied
 // into the engine's lifetime counters here, exactly once.
+//
+// The memo read-through lives here rather than delegating to
+// fastRepairOutcome so the quarantine verdict is memoized under the
+// same pinned generation the panicking repair ran on: replaying a
+// poisoned row quarantines from the cache without re-tripping the
+// kernel.
 func (e *Engine) repairTupleSafe(t *relation.Tuple) (out *relation.Tuple, oc tupleOutcome) {
+	g := e.Cat.Graph()
+	memo := e.memo
+	var gen int64
+	var fp uint64
+	if memo != nil {
+		gen = g.Generation()
+		fp = memo.tupleFP(t.Values, t.Marked)
+		if cl, moc, ok := memo.getTupleClone(gen, fp, t.Values, t.Marked); ok {
+			e.count(moc, nil)
+			return cl, moc
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			out, oc = t.Clone(), tupleQuarantined
 			e.count(oc, nil)
+			if memo != nil {
+				memo.putTuple(gen, fp, t.Values, t.Marked, out, oc, true)
+			}
 		}
 	}()
-	out, oc = e.fastRepairOutcome(t, nil)
+	out, oc = e.fastRepairOutcomeOn(g, t, nil)
 	e.count(oc, nil)
+	if memo != nil {
+		memo.putTuple(gen, fp, t.Values, t.Marked, out, oc, true)
+	}
 	return out, oc
 }
 
@@ -451,7 +524,14 @@ func (e *Engine) repairTupleSafe(t *relation.Tuple) (out *relation.Tuple, oc tup
 // whether the repair completed within the step budget; on false, t is
 // left in a partially repaired state the caller must discard.
 func (e *Engine) repairInPlace(t *relation.Tuple) bool {
-	st := e.getState()
+	return e.repairInPlaceOn(e.Cat.Graph(), t)
+}
+
+// repairInPlaceOn is repairInPlace pinned to g, so streaming callers
+// that memoize the result tag it with the generation the repair
+// actually saw.
+func (e *Engine) repairInPlaceOn(g *kb.Graph, t *relation.Tuple) bool {
+	st := e.getStateOn(g)
 	ok := e.runFast(t, st)
 	e.putState(st)
 	return ok
@@ -520,14 +600,23 @@ type fastState struct {
 	steps *[]Step             // optional explanation recorder
 	timer *stageTimer         // non-nil only while this tuple is latency-sampled
 	g     *kb.Graph           // the KB pinned for this tuple's whole repair
+	gen   int64               // g's generation, keying the cross-request cell memo
 
 	stepsLeft int  // remaining rule applications before degrade
 	exceeded  bool // step budget exhausted for this tuple
 }
 
-// getState returns a reset fastState, reusing a pooled one when
-// available so the per-tuple hot path allocates nothing.
+// getState returns a reset fastState pinned to the store's current
+// graph, reusing a pooled one when available so the per-tuple hot
+// path allocates nothing.
 func (e *Engine) getState() *fastState {
+	return e.getStateOn(e.Cat.Graph())
+}
+
+// getStateOn is getState pinned to an already-chosen graph, for
+// callers (the memo read-throughs) that must tag their results with
+// the exact generation the repair ran on.
+func (e *Engine) getStateOn(g *kb.Graph) *fastState {
 	st, _ := e.pool.Get().(*fastState)
 	if st == nil {
 		st = &fastState{
@@ -544,7 +633,8 @@ func (e *Engine) getState() *fastState {
 	st.alts = nil
 	st.steps = nil
 	st.timer = nil
-	st.g = e.Cat.Graph() // pin the current KB for this tuple
+	st.g = g // pin the chosen KB for this tuple
+	st.gen = g.Generation()
 	st.stepsLeft = e.stepBudget
 	st.exceeded = false
 	return st
@@ -556,6 +646,26 @@ func (e *Engine) putState(st *fastState) {
 	st.timer = nil
 	st.g = nil
 	e.pool.Put(st)
+}
+
+// nodeCheckMemo resolves one evidence node check, consulting the
+// cross-request cell memo first: node checks are pure functions of
+// (check, cell value, pinned graph) — see rules.Matcher.NodeCheckOn —
+// so a verdict cached by any earlier tuple under the same generation
+// stands in for the KB probe. Only the per-tuple tri-state was
+// consulted before this point, so each (check, value) pair costs at
+// most one memo round-trip per tuple.
+func (e *Engine) nodeCheckMemo(m *rules.Matcher, st *fastState, t *relation.Tuple, c check) bool {
+	if e.memo == nil || c.col < 0 {
+		return m.NodeCheckOn(st.g, t, c.node)
+	}
+	v := t.Values[c.col]
+	if hold, ok := e.memo.getCell(st.gen, c.id, v); ok {
+		return hold
+	}
+	hold := m.NodeCheckOn(st.g, t, c.node)
+	e.memo.putCell(st.gen, c.id, v, hold)
+	return hold
 }
 
 // fastStep checks and possibly applies rule idx; it reports whether
@@ -585,10 +695,10 @@ func (e *Engine) fastStep(t *relation.Tuple, idx int, st *fastState, cyclic bool
 			}
 			var hold bool
 			if st.timer == nil {
-				hold = m.NodeCheckOn(st.g, t, c.node)
+				hold = e.nodeCheckMemo(m, st, t, c)
 			} else {
 				t0 := time.Now()
-				hold = m.NodeCheckOn(st.g, t, c.node)
+				hold = e.nodeCheckMemo(m, st, t, c)
 				st.timer.detect += time.Since(t0)
 			}
 			if hold {

@@ -199,7 +199,9 @@ func TestHotSwapStream(t *testing.T) {
 // fresh misses in CacheStats.
 func TestHotSwapInvalidatesCandidateCache(t *testing.T) {
 	store := kb.NewStore(swapGraph("A"))
-	e, err := repair.NewEngineStore(swapRules(), store, swapSchema, repair.Options{})
+	// The repair memo would answer the second repair before it ever
+	// reached the candidate cache; disable it to observe the cache.
+	e, err := repair.NewEngineStore(swapRules(), store, swapSchema, repair.Options{MemoDisabled: true})
 	if err != nil {
 		t.Fatalf("NewEngineStore: %v", err)
 	}

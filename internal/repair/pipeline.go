@@ -8,9 +8,10 @@
 // The reader batches CSV rows into fixed-size chunks, deep-copying
 // each record out of the csv.Reader's reused buffers; workers run the
 // in-place fast repair (pooled fastState, shared candidate cache)
-// over whole chunks, deduplicating identical rows within a chunk; the
-// reassembly stage — the calling goroutine — writes chunks back in
-// input order.
+// over whole chunks as a read-through of the global cross-request
+// memo (falling back to in-chunk-only deduplication when the memo is
+// disabled); the reassembly stage — the calling goroutine — writes
+// chunks back in input order.
 //
 // Memory is bounded to O(workers · chunk): the reader must acquire an
 // in-flight token before emitting a chunk and the reassembly stage
@@ -226,31 +227,52 @@ func (e *Engine) cleanStreamParallel(ctx context.Context, cr *csv.Reader, cw *cs
 }
 
 // repairChunk repairs every row of c in place of the worker's pooled
-// state and renders the formatted output rows. Identical rows within
-// the chunk are repaired once: repair is a pure function of the row's
-// values (the engine is read-only and deterministic), so the first
-// occurrence's output and outcome stand in for its duplicates — the
-// duplicate-heavy distributions of the eval datasets make this a
-// large win. Outcome tallies count every row, duplicates included, so
+// state and renders the formatted output rows. Repair is a pure
+// function of the row's values (the engine is read-only and
+// deterministic), so a cached outcome stands in for a fresh repair:
+// with the global memo enabled each row is a read-through of the
+// cross-request cache, deduplicating identical rows across chunks,
+// calls, and connections, and counting each memo-served row exactly
+// once in c.deduped and the stream-dedup telemetry. With the memo
+// disabled, the pre-memo in-chunk duplicate map stands in, limited to
+// one chunk. Outcome tallies count every row, duplicates included, so
 // the stream's accounting matches the serial path.
 func (e *Engine) repairChunk(c *rowChunk, marked bool) {
-	type dedupEntry struct {
-		out []string
-		oc  tupleOutcome
-	}
 	arity := 0
 	if len(c.rows) > 0 {
 		arity = len(c.rows[0])
-	}
-	var dedup map[string]dedupEntry
-	if len(c.rows) > 1 {
-		dedup = make(map[string]dedupEntry, len(c.rows))
 	}
 	tup := &relation.Tuple{
 		Values: make([]string, arity),
 		Marked: make([]bool, arity),
 	}
 	c.out = make([][]string, len(c.rows))
+	if e.memo != nil {
+		for i, rec := range c.rows {
+			// owned=true: the reader stage deep-copied the row, so the
+			// memo may retain its strings as-is.
+			oc, hit := e.repairRowMemo(tup, rec, true)
+			out := make([]string, arity)
+			formatRow(out, tup, marked)
+			c.out[i] = out
+			tallyChunkOutcome(c, oc)
+			if hit {
+				c.deduped++
+				e.instr.streamDeduped.Inc()
+			}
+		}
+		e.instr.streamChunks.Inc()
+		return
+	}
+
+	type dedupEntry struct {
+		out []string
+		oc  tupleOutcome
+	}
+	var dedup map[string]dedupEntry
+	if len(c.rows) > 1 {
+		dedup = make(map[string]dedupEntry, len(c.rows))
+	}
 	var key strings.Builder
 	for i, rec := range c.rows {
 		var k string
@@ -279,7 +301,7 @@ func (e *Engine) repairChunk(c *rowChunk, marked bool) {
 		for j := range tup.Marked {
 			tup.Marked[j] = false
 		}
-		oc := e.repairRowSafe(tup)
+		oc := e.repairRowSafeOn(e.Cat.Graph(), tup)
 		if oc != tupleOK {
 			// Keep-original-value, as on the serial path.
 			copy(tup.Values, rec)

@@ -124,8 +124,11 @@ func TestStreamParallelStepBudgetMatchesSerial(t *testing.T) {
 
 // TestStreamParallelDedup feeds a duplicate-heavy stream (each source
 // row repeated in a burst, as in the UIS-style duplicate generators)
-// and checks that the in-chunk dedup both fires and stays invisible in
-// the output.
+// and locks down the dedup accounting: with the global memo each
+// memo-served row counts exactly once on both paths; with the memo
+// disabled the parallel path falls back to in-chunk dedup and the
+// serial path counts nothing. Either way dedup stays invisible in the
+// output bytes.
 func TestStreamParallelDedup(t *testing.T) {
 	ex := dataset.NewPaperExample()
 	dup := &relation.Table{Schema: ex.Schema}
@@ -135,28 +138,53 @@ func TestStreamParallelDedup(t *testing.T) {
 		}
 	}
 	tc := streamCase{"dup", ex.Rules, ex.KB, ex.Schema, tableCSV(t, dup)}
+	// 5 copies of each of 4 rows: 4 cold repairs, 16 served rows.
+	const wantDeduped = 16
 
-	want, wantRes, err := cleanStream(t, tc, repair.Options{}, true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, gotRes, err := cleanStream(t, tc, repair.Options{Workers: 2, ChunkSize: 64}, true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got != want {
-		t.Fatalf("deduped output differs from serial:\n%s\nwant:\n%s", got, want)
-	}
-	if gotRes.Rows != wantRes.Rows {
-		t.Fatalf("Rows = %d, want %d", gotRes.Rows, wantRes.Rows)
-	}
-	// 5 copies of each of 4 rows in one 64-row chunk: 16 dedup hits.
-	if gotRes.Deduped != 16 {
-		t.Errorf("Deduped = %d, want 16", gotRes.Deduped)
-	}
-	if wantRes.Deduped != 0 {
-		t.Errorf("serial Deduped = %d, want 0", wantRes.Deduped)
-	}
+	t.Run("memo", func(t *testing.T) {
+		want, wantRes, err := cleanStream(t, tc, repair.Options{}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotRes, err := cleanStream(t, tc, repair.Options{Workers: 2, ChunkSize: 64}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("deduped output differs from serial:\n%s\nwant:\n%s", got, want)
+		}
+		if gotRes.Rows != wantRes.Rows {
+			t.Fatalf("Rows = %d, want %d", gotRes.Rows, wantRes.Rows)
+		}
+		if gotRes.Deduped != wantDeduped {
+			t.Errorf("parallel Deduped = %d, want %d", gotRes.Deduped, wantDeduped)
+		}
+		if wantRes.Deduped != wantDeduped {
+			t.Errorf("serial Deduped = %d, want %d", wantRes.Deduped, wantDeduped)
+		}
+	})
+
+	t.Run("no-memo", func(t *testing.T) {
+		want, wantRes, err := cleanStream(t, tc, repair.Options{MemoDisabled: true}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotRes, err := cleanStream(t, tc, repair.Options{MemoDisabled: true, Workers: 2, ChunkSize: 64}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("deduped output differs from serial:\n%s\nwant:\n%s", got, want)
+		}
+		// All 20 rows fit one 64-row chunk, so in-chunk dedup catches
+		// every duplicate; the serial path has no dedup at all.
+		if gotRes.Deduped != wantDeduped {
+			t.Errorf("parallel Deduped = %d, want %d", gotRes.Deduped, wantDeduped)
+		}
+		if wantRes.Deduped != 0 {
+			t.Errorf("serial Deduped = %d, want 0", wantRes.Deduped)
+		}
+	})
 }
 
 // TestStreamParallelDeepCopiesRecords is the aliasing regression test

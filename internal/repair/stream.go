@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"detective/internal/kb"
 	"detective/internal/relation"
 )
 
@@ -26,10 +27,13 @@ type StreamResult struct {
 	// BudgetExhausted counts rows that exceeded the fixpoint step
 	// budget and were emitted unchanged.
 	BudgetExhausted int
-	// Deduped counts rows whose repair was answered by an identical
-	// row earlier in the same pipeline chunk instead of being
-	// recomputed. Always 0 on the serial path. Deduped rows are still
-	// counted in Rows and in the outcome tallies above.
+	// Deduped counts rows whose repair was answered from a cache
+	// instead of being recomputed: the global cross-request memo when
+	// it is enabled (serial and parallel paths alike, and across
+	// chunks and calls), otherwise the parallel pipeline's in-chunk
+	// duplicate cache (always 0 on the serial path). Each served row
+	// is counted exactly once, and still counts in Rows and in the
+	// outcome tallies above.
 	Deduped int
 }
 
@@ -120,24 +124,18 @@ func (e *Engine) cleanStreamSerial(ctx context.Context, cr *csv.Reader, cw *csv.
 		if len(rec) != arity {
 			return partial(fmt.Errorf("repair: CSV line %d has %d fields, want %d", lineno, len(rec), arity))
 		}
-		copy(tup.Values, rec)
-		for i := range tup.Marked {
-			tup.Marked[i] = false
-		}
-		oc := e.repairRowSafe(tup)
+		// owned=false: with ReuseRecord the record's strings alias the
+		// reader's buffer, so anything the memo retains is cloned.
+		oc, hit := e.repairRowMemo(tup, rec, false)
 		switch oc {
-		case tupleQuarantined, tupleBudgetExhausted:
-			// Keep-original-value: the half-repaired tuple state is
-			// discarded in favour of the raw record.
-			copy(tup.Values, rec)
-			for i := range tup.Marked {
-				tup.Marked[i] = false
-			}
-			if oc == tupleQuarantined {
-				res.Quarantined++
-			} else {
-				res.BudgetExhausted++
-			}
+		case tupleQuarantined:
+			res.Quarantined++
+		case tupleBudgetExhausted:
+			res.BudgetExhausted++
+		}
+		if hit {
+			res.Deduped++
+			e.instr.streamDeduped.Inc()
 		}
 		formatRow(out, tup, marked)
 		if err := cw.Write(out); err != nil {
@@ -167,18 +165,18 @@ func formatRow(dst []string, tup *relation.Tuple, marked bool) {
 	}
 }
 
-// repairRowSafe runs the in-place repair under a panic quarantine and
-// tallies the outcome into the engine's lifetime counters. On a
-// non-OK outcome tup is left in an undefined state; the caller
-// restores the original record.
-func (e *Engine) repairRowSafe(tup *relation.Tuple) (oc tupleOutcome) {
+// repairRowSafeOn runs the in-place repair on the pinned graph g
+// under a panic quarantine and tallies the outcome into the engine's
+// lifetime counters. On a non-OK outcome tup is left in an undefined
+// state; the caller restores the original record.
+func (e *Engine) repairRowSafeOn(g *kb.Graph, tup *relation.Tuple) (oc tupleOutcome) {
 	defer func() {
 		if r := recover(); r != nil {
 			oc = tupleQuarantined
 		}
 		e.count(oc, nil)
 	}()
-	if !e.repairInPlace(tup) {
+	if !e.repairInPlaceOn(g, tup) {
 		return tupleBudgetExhausted
 	}
 	return tupleOK

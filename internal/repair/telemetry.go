@@ -82,8 +82,58 @@ func newEngineInstr(sampleEvery int) *engineInstr {
 	in.streamChunks = reg.Counter("detective_stream_chunks_total",
 		"Chunks processed by the parallel streaming pipeline.")
 	in.streamDeduped = reg.Counter("detective_stream_dedup_rows_total",
-		"Streamed rows answered by the in-chunk duplicate cache instead of a fresh repair.")
+		"Streamed rows answered from a cache instead of a fresh repair: the global repair memo when enabled, otherwise the in-chunk duplicate map. Each served row counts exactly once.")
 	return in
+}
+
+// registerMemo exposes the global repair memo's counters as
+// scrape-time series. Re-registration replaces the previous funcs, so
+// the newest memo-enabled engine in the process owns the series —
+// the same newest-wins convention the server's cache metrics use.
+func (in *engineInstr) registerMemo(m *repairMemo) {
+	reg := telemetry.Default()
+	tier := func(name string) telemetry.Label {
+		return telemetry.Label{Name: "tier", Value: name}
+	}
+	reason := func(name string) telemetry.Label {
+		return telemetry.Label{Name: "reason", Value: name}
+	}
+	reg.CounterFunc("detective_memo_hits_total",
+		"Repair-memo lookups answered from the cache, by tier.",
+		func() float64 { return float64(m.tupleStats.hits.Load()) }, tier("tuple"))
+	reg.CounterFunc("detective_memo_hits_total",
+		"Repair-memo lookups answered from the cache, by tier.",
+		func() float64 { return float64(m.cellStats.hits.Load()) }, tier("cell"))
+	reg.CounterFunc("detective_memo_misses_total",
+		"Repair-memo lookups not answered from the cache, by tier.",
+		func() float64 { return float64(m.tupleStats.misses.Load()) }, tier("tuple"))
+	reg.CounterFunc("detective_memo_misses_total",
+		"Repair-memo lookups not answered from the cache, by tier.",
+		func() float64 { return float64(m.cellStats.misses.Load()) }, tier("cell"))
+	reg.CounterFunc("detective_memo_evictions_total",
+		"Repair-memo entries evicted, by tier and reason.",
+		func() float64 { return float64(m.tupleStats.evictions.Load()) }, reason("capacity"), tier("tuple"))
+	reg.CounterFunc("detective_memo_evictions_total",
+		"Repair-memo entries evicted, by tier and reason.",
+		func() float64 { return float64(m.cellStats.evictions.Load()) }, reason("capacity"), tier("cell"))
+	reg.CounterFunc("detective_memo_evictions_total",
+		"Repair-memo entries evicted, by tier and reason.",
+		func() float64 { return float64(m.tupleStats.genEvictions.Load()) }, reason("generation"), tier("tuple"))
+	reg.CounterFunc("detective_memo_evictions_total",
+		"Repair-memo entries evicted, by tier and reason.",
+		func() float64 { return float64(m.cellStats.genEvictions.Load()) }, reason("generation"), tier("cell"))
+	reg.GaugeFunc("detective_memo_bytes",
+		"Bytes held by the repair memo, by tier.",
+		func() float64 { return float64(m.tupleStats.bytes.Load()) }, tier("tuple"))
+	reg.GaugeFunc("detective_memo_bytes",
+		"Bytes held by the repair memo, by tier.",
+		func() float64 { return float64(m.cellStats.bytes.Load()) }, tier("cell"))
+	reg.GaugeFunc("detective_memo_entries",
+		"Entries held by the repair memo, by tier.",
+		func() float64 { return float64(m.tupleStats.entries.Load()) }, tier("tuple"))
+	reg.GaugeFunc("detective_memo_entries",
+		"Entries held by the repair memo, by tier.",
+		func() float64 { return float64(m.cellStats.entries.Load()) }, tier("cell"))
 }
 
 // stageTimer accumulates per-stage wall time for one sampled tuple.

@@ -92,6 +92,16 @@ type Config struct {
 	// StreamChunkSize is the rows-per-chunk of the streaming pipeline
 	// when StreamWorkers > 1. 0 picks repair.DefaultStreamChunkSize.
 	StreamChunkSize int
+	// MemoBytes is the byte budget of the engine's global
+	// cross-request repair memo (repair.Options.MemoBytes): repeated
+	// tuples and hot cell values across requests and connections are
+	// answered from cache, byte-identical to a fresh repair, and hot
+	// KB reloads invalidate it by generation. 0 picks
+	// repair.DefaultMemoBytes; negative disables it, as does
+	// MemoDisabled.
+	MemoBytes int64
+	// MemoDisabled turns the repair memo off.
+	MemoDisabled bool
 }
 
 func (c Config) withDefaults() Config {
@@ -162,8 +172,10 @@ func NewWithConfig(drs []*rules.DR, g *kb.Graph, schema *relation.Schema, cfg Co
 func NewWithStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	e, err := repair.NewEngineStore(drs, store, schema, repair.Options{
-		Workers:   cfg.StreamWorkers,
-		ChunkSize: cfg.StreamChunkSize,
+		Workers:      cfg.StreamWorkers,
+		ChunkSize:    cfg.StreamChunkSize,
+		MemoBytes:    cfg.MemoBytes,
+		MemoDisabled: cfg.MemoDisabled,
 	})
 	if err != nil {
 		return nil, err
@@ -557,6 +569,10 @@ type StatsResponse struct {
 	// same numbers are exported as Prometheus series on the ops port.
 	CandidateCache CacheStats `json:"candidateCache"`
 	SignatureIndex CacheStats `json:"signatureIndex"`
+	// Memo is the global cross-request repair memo (two tiers:
+	// whole-tuple outcomes and per-cell evidence verdicts), likewise
+	// mirrored as detective_memo_* Prometheus series.
+	Memo repair.MemoStats `json:"memo"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -572,6 +588,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		KBSwaps:        s.store.Swaps(),
 		CandidateCache: CacheStats{Hits: ch, Misses: cm, Size: cn},
 		SignatureIndex: CacheStats{Hits: ih, Misses: im, Size: in},
+		Memo:           s.engine.MemoStats(),
 	})
 }
 
