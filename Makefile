@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet fmt-check test cover race fault bench bench-smoke benchdiff snapshot-check metrics-check experiments examples clean
+.PHONY: all build vet fmt-check test cover race fault chaos bench bench-smoke benchdiff snapshot-check metrics-check experiments examples clean
 
 all: build vet fmt-check test
 
@@ -29,6 +29,15 @@ race:
 # load shedding, deadlines) under the race detector.
 fault:
 	go test -race -run TestFault ./internal/repair ./internal/server
+
+# Chaos drills for the self-healing lifecycle, repeated under the race
+# detector: canary reload rejection (strict self-check, shadow replay),
+# watchdog auto-rollback under live traffic, reloads racing serving
+# traffic against corrupt/suspect candidates, and circuit-breaker
+# trip/probe/recovery.
+chaos:
+	go test -race -count=3 -run 'TestFaultBreaker' ./internal/repair
+	go test -race -count=3 -run 'TestCanary|TestFaultCanary|TestRollback|TestReloadUnderLoad' ./internal/server
 
 bench:
 	go test -bench=. -benchmem ./...

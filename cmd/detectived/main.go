@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"detective"
+	"detective/internal/repair"
 	"detective/internal/server"
 	"detective/internal/telemetry"
 )
@@ -55,6 +56,13 @@ func main() {
 	streamChunk := flag.Int("stream-chunk", 0, "rows per pipeline chunk when -stream-workers > 1 (0 = default)")
 	memoBytes := flag.Int64("memo-bytes", 0, "byte budget of the cross-request repair memo (0 = default 64 MiB, negative = off)")
 	noMemo := flag.Bool("no-memo", false, "disable the cross-request repair memo")
+	verifyMode := flag.String("verify-mode", "", "KB integrity self-check on reload: off, warn (default), strict (reject suspect graphs)")
+	retain := flag.Int("retain", 0, "reloaded-out KB generations kept for POST /rollback (0 = default 2, negative = none)")
+	canaryRows := flag.Int("canary-rows", 0, "recent rows shadow-replayed against a reload candidate (0 = whole recorded ring, negative = skip replay)")
+	canaryMaxBadDelta := flag.Float64("canary-max-bad-delta", 0, "max increase in bad-row rate a candidate may show over live before rejection (0 = default 0.10)")
+	canaryWatch := flag.Duration("canary-watch", 0, "post-promote watch window: auto-rollback if the new generation's bad-row rate regresses (0 = disabled)")
+	breakerOn := flag.Bool("breaker", false, "enable the repair circuit breaker (degrade to detect-only under quarantine/budget storms)")
+	breakerPerRule := flag.Bool("breaker-per-rule", false, "with -breaker, also track and degrade individual rules")
 	flag.Parse()
 
 	var level slog.Level
@@ -108,14 +116,23 @@ func main() {
 	schema := detective.NewSchema(*name, attrs...)
 
 	s, err := server.NewWithConfig(rs, g, schema, server.Config{
-		RequestTimeout:  *reqTimeout,
-		MaxConcurrent:   *maxConcurrent,
-		MaxBodyBytes:    *maxBody,
-		Logger:          log,
-		StreamWorkers:   *streamWorkers,
-		StreamChunkSize: *streamChunk,
-		MemoBytes:       *memoBytes,
-		MemoDisabled:    *noMemo,
+		RequestTimeout:    *reqTimeout,
+		MaxConcurrent:     *maxConcurrent,
+		MaxBodyBytes:      *maxBody,
+		Logger:            log,
+		StreamWorkers:     *streamWorkers,
+		StreamChunkSize:   *streamChunk,
+		MemoBytes:         *memoBytes,
+		MemoDisabled:      *noMemo,
+		VerifyMode:        *verifyMode,
+		RetainGenerations: *retain,
+		CanaryRows:        *canaryRows,
+		CanaryMaxBadDelta: *canaryMaxBadDelta,
+		CanaryWatch:       *canaryWatch,
+		Breaker: repair.BreakerOptions{
+			Enabled: *breakerOn,
+			PerRule: *breakerPerRule,
+		},
 	})
 	fail(log, err)
 
@@ -137,9 +154,12 @@ func main() {
 	var opsSrv *http.Server
 	if *opsAddr != "" {
 		opsMux := telemetry.NewOpsMux(telemetry.Default())
-		// Admin-only KB hot reload stays on the operator port, next to
-		// /metrics and pprof, never on the public listener.
+		// Admin-only KB lifecycle stays on the operator port, next to
+		// /metrics and pprof, never on the public listener. /reload is
+		// a staged canary (self-check + shadow replay, 409 on reject);
+		// /rollback republishes the previous retained generation.
 		opsMux.Handle("POST /reload", s.ReloadHandler(loadKB))
+		opsMux.Handle("POST /rollback", s.RollbackHandler())
 		opsSrv = &http.Server{
 			Addr:              *opsAddr,
 			Handler:           opsMux,
@@ -148,27 +168,29 @@ func main() {
 		go func() { errc <- opsSrv.ListenAndServe() }()
 		log.Info("ops listener up",
 			slog.String("addr", *opsAddr),
-			slog.String("endpoints", "/metrics /debug/pprof/ POST /reload"))
+			slog.String("endpoints", "/metrics /debug/pprof/ POST /reload POST /rollback"))
 	}
 
 	// SIGHUP is the file-based reload path for operators without ops
-	// port access: re-read the KB source and hot-swap it in. A failed
-	// load logs and keeps the current graph serving.
+	// port access: re-read the KB source and stage it through the
+	// canary. A failed load or a rejected candidate logs and keeps the
+	// current graph serving.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	defer signal.Stop(hup)
-	go func() {
-		for range hup {
-			start := time.Now()
-			ng, err := loadKB()
-			if err != nil {
-				log.Error("SIGHUP reload failed; keeping current graph", slog.Any("error", err))
-				continue
-			}
-			gen := s.ReloadKB(ng, time.Since(start))
-			log.Info("SIGHUP reload complete", slog.Int64("generation", gen))
+	go reloadLoop(ctx, hup, log, func() error {
+		start := time.Now()
+		ng, err := loadKB()
+		if err != nil {
+			return fmt.Errorf("load: %w", err)
 		}
-	}()
+		gen, _, err := s.StageReloadKB(ng, time.Since(start))
+		if err != nil {
+			return err
+		}
+		log.Info("SIGHUP reload complete", slog.Int64("generation", gen))
+		return nil
+	})
 
 	log.Info("detectived up",
 		slog.Int("rules", len(rs)),
@@ -200,6 +222,32 @@ func main() {
 		}
 	}
 	log.Info("drained, exiting")
+}
+
+// reloadLoop services SIGHUP reload requests until ctx is cancelled.
+// Racing a SIGHUP against the SIGTERM drain used to start a reload
+// mid-shutdown; selecting on ctx and re-checking it after every wakeup
+// makes a late SIGHUP a clean no-op: once draining, the signal is
+// acknowledged, logged, and the current graph keeps serving whatever
+// requests are still in flight.
+func reloadLoop(ctx context.Context, hup <-chan os.Signal, log *slog.Logger, reload func() error) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case _, ok := <-hup:
+			if !ok {
+				return
+			}
+			if ctx.Err() != nil {
+				log.Info("SIGHUP ignored: server is draining")
+				return
+			}
+			if err := reload(); err != nil {
+				log.Error("SIGHUP reload failed; keeping current graph", slog.Any("error", err))
+			}
+		}
+	}
 }
 
 func fail(log *slog.Logger, err error) {

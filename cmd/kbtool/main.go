@@ -6,6 +6,11 @@
 //	kbtool pack kb.nt kb.snap              # text -> binary snapshot
 //	kbtool unpack kb.snap kb.nt            # snapshot -> canonical text
 //	kbtool verify kb.snap                  # header + checksums + stats
+//	kbtool verify -deep kb.snap            # + structural integrity pass
+//
+// verify separates failure classes by exit code: 3 means the file is
+// corrupt (magic, framing, checksum), 4 means it decodes but the graph
+// is structurally suspect (-deep only: dangling IDs, taxonomy cycles).
 //
 // pack and unpack are deterministic: the same graph always produces
 // the same bytes (pack sorts every section; unpack emits the
@@ -25,6 +30,7 @@ import (
 
 	"detective"
 	"detective/internal/kb"
+	"detective/internal/kb/verify"
 )
 
 func main() {
@@ -42,8 +48,7 @@ func main() {
 		unpack(flag.Arg(1), flag.Arg(2))
 		return
 	case "verify":
-		verify(flag.Arg(1))
-		return
+		os.Exit(runVerify(flag.Args()[1:], os.Stdout, os.Stderr))
 	}
 
 	if *kbPath == "" || flag.NArg() == 0 {
@@ -134,19 +139,59 @@ func unpack(in, out string) {
 	fail(w.Close())
 }
 
-// verify loads a snapshot — exercising the header, section layout and
-// every checksum — and prints a one-line summary. Exit 0 means the
-// file would serve.
-func verify(in string) {
+// runVerify implements `kbtool verify [-deep] KB.snap`. The plain form
+// loads the snapshot — exercising the header, section layout and every
+// checksum — and prints a one-line summary; -deep then runs the full
+// structural/semantic integrity pass on the decoded graph. Exit codes
+// separate the failure classes so scripts can react differently:
+//
+//	0  the file would serve (and, with -deep, passed the self-check)
+//	3  corrupt file: bad magic, framing, or checksum — re-pack it
+//	4  decodes fine but is structurally suspect (dangling IDs,
+//	   asymmetric indexes, taxonomy cycles) — inspect the source data
+func runVerify(args []string, out, errw io.Writer) int {
+	deep := false
+	in := ""
+	for _, a := range args {
+		switch {
+		case a == "-deep" || a == "--deep":
+			deep = true
+		case in == "":
+			in = a
+		default:
+			fmt.Fprintln(errw, "usage: kbtool verify [-deep] KB.snap")
+			return 2
+		}
+	}
 	if in == "" {
-		fail(fmt.Errorf("usage: kbtool verify KB.snap"))
+		fmt.Fprintln(errw, "usage: kbtool verify [-deep] KB.snap")
+		return 2
 	}
 	r := openIn(in)
 	g, err := detective.LoadKBSnapshot(r)
 	r.Close()
-	fail(err)
-	fmt.Printf("ok: %d nodes, %d triples, generation %d\n",
+	if err != nil {
+		fmt.Fprintln(errw, "kbtool: corrupt snapshot:", err)
+		return 3
+	}
+	fmt.Fprintf(out, "ok: %d nodes, %d triples, generation %d\n",
 		g.NumNodes(), g.NumTriples(), g.Generation())
+	if !deep {
+		return 0
+	}
+	rep := verify.Check(g, verify.Options{})
+	for _, f := range rep.Findings {
+		fmt.Fprintln(out, " ", f)
+	}
+	if rep.Truncated {
+		fmt.Fprintln(out, "  ... more findings truncated")
+	}
+	fmt.Fprintln(out, rep.Summary())
+	if !rep.OK() {
+		fmt.Fprintln(errw, "kbtool: snapshot is structurally suspect")
+		return 4
+	}
+	return 0
 }
 
 func entity(g *detective.KB, name string, limit int) {

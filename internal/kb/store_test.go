@@ -107,3 +107,124 @@ func TestStoreConcurrentPinAndSwap(t *testing.T) {
 		t.Errorf("Swaps = %d, want 50", st.Swaps())
 	}
 }
+
+func TestStoreRetainAndRollback(t *testing.T) {
+	g1 := paperGraph()
+	st := NewStore(g1)
+	st.SetRetain(2)
+
+	if _, _, err := st.Rollback(); err != ErrNoRetained {
+		t.Fatalf("rollback on empty ring: err = %v, want ErrNoRetained", err)
+	}
+
+	g2, g3, g4 := paperGraph(), paperGraph(), paperGraph()
+	g2.AddTriple("v", "r", "2")
+	g3.AddTriple("v", "r", "3")
+	g4.AddTriple("v", "r", "4")
+	st.Swap(g2)
+	st.Swap(g3)
+	st.Swap(g4) // ring now [g2, g3]; g1 evicted
+
+	hist := st.History()
+	if len(hist) != 3 || !hist[0].Live || hist[0].Generation != g4.Generation() ||
+		hist[1].Generation != g3.Generation() || hist[2].Generation != g2.Generation() {
+		t.Fatalf("history = %+v", hist)
+	}
+
+	now, dropped, err := st.Rollback()
+	if err != nil || now != g3 || dropped != g4 {
+		t.Fatalf("Rollback = %v, %v, %v; want g3, g4", now, dropped, err)
+	}
+	if st.Graph() != g3 || st.Rollbacks() != 1 {
+		t.Fatalf("store not serving g3 after rollback (rollbacks=%d)", st.Rollbacks())
+	}
+	if g3.Generation() >= g4.Generation() {
+		t.Fatal("rolled-back graph must keep its original lower generation")
+	}
+
+	// A fresh graph swapped in after a rollback must be stamped above
+	// the dropped g4, not just above the live g3: generation numbers
+	// are never reused for different content.
+	g5 := New()
+	g5.AddTriple("v", "r", "5")
+	st.Swap(g5)
+	if g5.Generation() <= g4.Generation() {
+		t.Fatalf("post-rollback swap reused generation space: g5=%d g4=%d",
+			g5.Generation(), g4.Generation())
+	}
+
+	// Ring is now [g2, g3]: g3 was re-retained by the g5 swap.
+	now, _, err = st.Rollback()
+	if err != nil || now != g3 {
+		t.Fatalf("second rollback = %v, %v; want g3", now, err)
+	}
+	now, _, err = st.Rollback()
+	if err != nil || now != g2 {
+		t.Fatalf("third rollback = %v, %v; want g2", now, err)
+	}
+	if _, _, err = st.Rollback(); err != ErrNoRetained {
+		t.Fatalf("rollback past ring bottom: err = %v", err)
+	}
+}
+
+func TestStoreSetRetainTrims(t *testing.T) {
+	st := NewStore(paperGraph())
+	st.SetRetain(3)
+	var gens []int64
+	for i := 0; i < 3; i++ {
+		g := paperGraph()
+		g.AddTriple("v", "r", string(rune('a'+i)))
+		st.Swap(g)
+		gens = append(gens, st.Generation())
+	}
+	if got := len(st.History()) - 1; got != 3 {
+		t.Fatalf("retained %d graphs, want 3", got)
+	}
+	st.SetRetain(1)
+	hist := st.History()
+	if len(hist) != 2 || hist[1].Generation != gens[1] {
+		t.Fatalf("SetRetain(1) kept wrong graphs: %+v (gens %v)", hist, gens)
+	}
+	st.SetRetain(0)
+	if len(st.History()) != 1 {
+		t.Fatal("SetRetain(0) did not clear the ring")
+	}
+	if _, _, err := st.Rollback(); err != ErrNoRetained {
+		t.Fatalf("rollback after SetRetain(0): err = %v", err)
+	}
+}
+
+func TestStoreRollbackConcurrentReaders(t *testing.T) {
+	st := NewStore(paperGraph())
+	st.SetRetain(4)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				g := st.Graph()
+				total := 0
+				for _, s := range g.names {
+					total += len(g.Out(g.Lookup(s)))
+				}
+				if total != g.NumTriples() {
+					panic("pinned graph internally inconsistent")
+				}
+			}
+		}()
+	}
+	for i := 0; i < 32; i++ {
+		g := paperGraph()
+		g.AddTriple("extra", "r", "v")
+		st.Swap(g)
+		if i%3 == 2 {
+			if _, _, err := st.Rollback(); err != nil {
+				t.Errorf("rollback %d: %v", i, err)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

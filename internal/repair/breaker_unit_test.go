@@ -1,0 +1,264 @@
+package repair
+
+import (
+	"sync"
+	"testing"
+
+	"detective/internal/kb"
+	"detective/internal/relation"
+	"detective/internal/rules"
+	"detective/internal/similarity"
+)
+
+func testBreaker(o BreakerOptions) *breaker {
+	b := &breaker{}
+	b.init(o.withDefaults())
+	return b
+}
+
+// In-package copies of the hot-swap fixtures (the repair_test ones are
+// not visible here): Alice lives in ParisA and is a citizen of EuroA.
+var testSwapSchema = relation.NewSchema("people", "Name", "City", "Country")
+
+func newTestSwapStore() *kb.Store {
+	g := kb.New()
+	g.AddType("Alice", "person")
+	g.AddType("ParisA", "city")
+	g.AddType("EuroA", "country")
+	g.AddTriple("Alice", "livesIn", "ParisA")
+	g.AddTriple("Alice", "citizenOf", "EuroA")
+	return kb.NewStore(g)
+}
+
+func testSwapRules() []*rules.DR {
+	ed2 := similarity.Spec{Op: similarity.OpED, K: 2}
+	return []*rules.DR{
+		{
+			Name:     "fix-city",
+			Evidence: []rules.Node{{Name: "e", Col: "Name", Type: "person", Sim: similarity.Eq}},
+			Pos:      rules.Node{Name: "p", Col: "City", Type: "city", Sim: ed2},
+			Edges:    []rules.Edge{{From: "e", Rel: "livesIn", To: "p"}},
+		},
+		{
+			Name:     "fix-country",
+			Evidence: []rules.Node{{Name: "e", Col: "Name", Type: "person", Sim: similarity.Eq}},
+			Pos:      rules.Node{Name: "p", Col: "Country", Type: "country", Sim: ed2},
+			Edges:    []rules.Edge{{From: "e", Rel: "citizenOf", To: "p"}},
+		},
+	}
+}
+
+func newTestRowTuple() *relation.Tuple {
+	return &relation.Tuple{Values: make([]string, 3), Marked: make([]bool, 3)}
+}
+
+// TestBreakerStateMachine walks the full lifecycle: closed under good
+// traffic, tripped by a bad-rate storm, detect-only through the
+// cooldown, half-open with exactly one probe token, reopened by a
+// failed probe, and finally closed by a successful one with the
+// pre-trip window history cleared.
+func TestBreakerStateMachine(t *testing.T) {
+	b := testBreaker(BreakerOptions{Window: 8, MinSamples: 4, TripRatio: 0.5, CooldownRows: 3})
+
+	// Healthy traffic keeps it closed.
+	for i := 0; i < 10; i++ {
+		if d, p := b.admit(); d || p {
+			t.Fatalf("closed breaker degraded traffic: degrade=%v probe=%v", d, p)
+		}
+		b.record(false)
+	}
+	if got := b.state.Load(); got != breakerClosed {
+		t.Fatalf("state = %s after good traffic", breakerStateName(got))
+	}
+
+	// A storm of bad outcomes trips it once the bad rate outvotes the
+	// good history still in the sliding window.
+	for i := 0; i < 6; i++ {
+		b.record(true)
+	}
+	if got := b.state.Load(); got != breakerOpen {
+		t.Fatalf("state = %s after storm, want open", breakerStateName(got))
+	}
+	if b.trips.Load() != 1 {
+		t.Fatalf("trips = %d, want 1", b.trips.Load())
+	}
+
+	// Open: every admit degrades until the cooldown elapses.
+	for i := 0; i < 3; i++ {
+		if d, p := b.admit(); !d || p {
+			t.Fatalf("open admit %d: degrade=%v probe=%v", i, d, p)
+		}
+	}
+	if got := b.state.Load(); got != breakerHalfOpen {
+		t.Fatalf("state = %s after cooldown, want half-open", breakerStateName(got))
+	}
+
+	// Half-open: exactly one probe token, everyone else degrades.
+	d, p := b.admit()
+	if d || !p {
+		t.Fatalf("first half-open admit: degrade=%v probe=%v, want probe", d, p)
+	}
+	if d, p := b.admit(); !d || p {
+		t.Fatalf("second half-open admit: degrade=%v probe=%v, want degrade", d, p)
+	}
+
+	// The probe fails: reopen and cool down again.
+	b.resolveProbe(true)
+	if got := b.state.Load(); got != breakerOpen {
+		t.Fatalf("state = %s after failed probe, want open", breakerStateName(got))
+	}
+	if b.reopens.Load() != 1 {
+		t.Fatalf("reopens = %d, want 1", b.reopens.Load())
+	}
+	for i := 0; i < 3; i++ {
+		b.admit()
+	}
+	if d, p := b.admit(); d || !p {
+		t.Fatalf("second probe not granted: degrade=%v probe=%v", d, p)
+	}
+
+	// The probe succeeds: closed, and the storm's window history must
+	// not immediately re-trip.
+	b.resolveProbe(false)
+	if got := b.state.Load(); got != breakerClosed {
+		t.Fatalf("state = %s after good probe, want closed", breakerStateName(got))
+	}
+	if b.recoveries.Load() != 1 {
+		t.Fatalf("recoveries = %d, want 1", b.recoveries.Load())
+	}
+	if total, bad := b.windowCounts(); total != 0 || bad != 0 {
+		t.Fatalf("windows not cleared on recovery: total=%d bad=%d", total, bad)
+	}
+	b.record(true) // one bad sample alone must not trip (MinSamples)
+	if got := b.state.Load(); got != breakerClosed {
+		t.Fatalf("re-tripped on pre-MinSamples history: %s", breakerStateName(got))
+	}
+}
+
+// TestBreakerMinSamples: a 100% bad rate below MinSamples must not
+// trip — a single early quarantine is not an incident.
+func TestBreakerMinSamples(t *testing.T) {
+	b := testBreaker(BreakerOptions{Window: 16, MinSamples: 8, TripRatio: 0.25, CooldownRows: 4})
+	for i := 0; i < 7; i++ {
+		b.record(true)
+	}
+	if got := b.state.Load(); got != breakerClosed {
+		t.Fatalf("tripped below MinSamples: %s", breakerStateName(got))
+	}
+	b.record(true)
+	if got := b.state.Load(); got != breakerOpen {
+		t.Fatalf("did not trip at MinSamples: %s", breakerStateName(got))
+	}
+}
+
+// TestBreakerWindowSlides: bad samples age out as full windows rotate,
+// so an old burst cannot trip the breaker after sustained recovery.
+func TestBreakerWindowSlides(t *testing.T) {
+	b := testBreaker(BreakerOptions{Window: 8, MinSamples: 4, TripRatio: 0.5, CooldownRows: 4})
+	// 3 bad samples: under MinSamples, stays closed.
+	for i := 0; i < 3; i++ {
+		b.record(true)
+	}
+	// Two full windows of good traffic rotate the bad burst out.
+	for i := 0; i < 16; i++ {
+		b.record(false)
+	}
+	if _, bad := b.windowCounts(); bad != 0 {
+		t.Fatalf("old bad samples still visible: bad=%d", bad)
+	}
+	// A fresh sub-threshold dribble of bad outcomes must not trip.
+	for i := 0; i < 3; i++ {
+		b.record(true)
+	}
+	if got := b.state.Load(); got != breakerClosed {
+		t.Fatalf("tripped on aged-out history: %s", breakerStateName(got))
+	}
+}
+
+// TestBreakerConcurrent hammers admit/record/resolve from many
+// goroutines; run under -race this proves the lock-free window and
+// state transitions are data-race free. Only the goroutine holding
+// the probe token resolves it, matching the engine's contract.
+func TestBreakerConcurrent(t *testing.T) {
+	b := testBreaker(BreakerOptions{Window: 32, MinSamples: 16, TripRatio: 0.5, CooldownRows: 8})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				degrade, probe := b.admit()
+				switch {
+				case probe:
+					b.resolveProbe(i%2 == 0)
+				case !degrade:
+					b.record((i+w)%3 == 0)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total, bad := b.windowCounts()
+	if total < 0 || bad < 0 || bad > total {
+		t.Fatalf("inconsistent window counts: total=%d bad=%d", total, bad)
+	}
+	if s := b.state.Load(); s != breakerClosed && s != breakerOpen && s != breakerHalfOpen {
+		t.Fatalf("invalid state %d", s)
+	}
+}
+
+// TestBreakerPerRuleDegradeAndRecover forces one rule's breaker open
+// by hand and checks the engine keeps repairing with the other rule,
+// then heals the broken one through its half-open probe.
+func TestBreakerPerRuleDegradeAndRecover(t *testing.T) {
+	store := newTestSwapStore()
+	e, err := NewEngineStore(testSwapRules(), store, testSwapSchema, Options{
+		MemoDisabled: true,
+		Breaker:      BreakerOptions{Enabled: true, PerRule: true, Window: 8, MinSamples: 4, TripRatio: 0.5, CooldownRows: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cityRule := 0
+	if e.Graph.Rules[cityRule].Name != "fix-city" {
+		t.Fatalf("rule 0 = %q, want fix-city", e.Graph.Rules[cityRule].Name)
+	}
+
+	dst := newTestRowTuple()
+	rec := []string{"Alice", "ParisX", "EuroX"}
+	if oc, _ := e.RepairRow(dst, rec); oc != RowRepaired || dst.Values[1] != "ParisA" || dst.Values[2] != "EuroA" {
+		t.Fatalf("baseline repair = %v %v", oc, dst.Values)
+	}
+
+	// Force fix-city's breaker open: the city column must pass through
+	// unrepaired while the country column still repairs.
+	rb := &e.ruleBreakers[cityRule]
+	rb.state.Store(breakerOpen)
+	if oc, _ := e.RepairRow(dst, rec); oc != RowRepaired {
+		t.Fatalf("degraded-rule repair outcome = %v", oc)
+	}
+	if dst.Values[1] != "ParisX" || dst.Values[2] != "EuroA" {
+		t.Fatalf("per-rule isolation broken: %v, want city original + country repaired", dst.Values)
+	}
+	if stats := e.BreakerStats(); len(stats.OpenRules) != 1 || stats.OpenRules[0] != "fix-city" {
+		t.Fatalf("OpenRules = %v, want [fix-city]", stats.OpenRules)
+	}
+
+	// Cooldown (2 admits) then the half-open probe repairs the city
+	// again and closes the rule's breaker.
+	e.RepairRow(dst, rec)
+	e.RepairRow(dst, rec)
+	for i := 0; i < 4 && rb.state.Load() != breakerClosed; i++ {
+		e.RepairRow(dst, rec)
+	}
+	if got := rb.state.Load(); got != breakerClosed {
+		t.Fatalf("rule breaker state = %s after probes, want closed", breakerStateName(got))
+	}
+	if oc, _ := e.RepairRow(dst, rec); oc != RowRepaired || dst.Values[1] != "ParisA" {
+		t.Fatalf("post-recovery repair = %v %v", oc, dst.Values)
+	}
+	if stats := e.BreakerStats(); len(stats.OpenRules) != 0 {
+		t.Fatalf("OpenRules = %v after recovery, want none", stats.OpenRules)
+	}
+}

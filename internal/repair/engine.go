@@ -12,6 +12,7 @@ import (
 	"detective/internal/relation"
 	"detective/internal/rules"
 	"detective/internal/similarity"
+	"detective/internal/telemetry"
 )
 
 // Engine applies a set of consistent detective rules to tuples of one
@@ -82,6 +83,16 @@ type Engine struct {
 	// memo is the global cross-request repair memo (see memo.go); nil
 	// when Options.MemoDisabled or a negative MemoBytes turned it off.
 	memo *repairMemo
+
+	// breaker is the global repair circuit breaker (see breaker.go);
+	// nil unless Options.Breaker.Enabled. ruleBreakers holds one
+	// breaker per rule when Options.Breaker.PerRule is also set.
+	breaker      *breaker
+	ruleBreakers []breaker
+
+	// recorder samples serving-path input rows for canary shadow
+	// replay; nil unless Options.Recorder was supplied.
+	recorder *RowRecorder
 }
 
 // check is one memoizable value-level test, identified by its dense
@@ -162,6 +173,21 @@ type Options struct {
 
 	// MemoDisabled turns the global repair memo off entirely.
 	MemoDisabled bool
+
+	// Breaker configures the repair circuit breaker (see
+	// BreakerOptions). The zero value leaves it disabled; the serving
+	// paths then pay a single nil check per tuple.
+	Breaker BreakerOptions
+
+	// Recorder, when non-nil, samples serving-path input rows into a
+	// ring buffer for canary shadow replay (see RowRecorder).
+	Recorder *RowRecorder
+
+	// PrivateTelemetry routes this engine's collectors to a throwaway
+	// registry instead of telemetry.Default(). Canary scratch engines
+	// set it so shadow replays never pollute the process's serving
+	// metrics.
+	PrivateTelemetry bool
 }
 
 // NewEngine validates the rules and builds matchers, the rule graph,
@@ -277,7 +303,11 @@ func NewEngineStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, o
 		// schedules while still catching genuine runaways.
 		e.stepBudget = 16*len(drs) + 64
 	}
-	e.instr = newEngineInstr(opts.TelemetrySampleEvery)
+	reg := telemetry.Default()
+	if opts.PrivateTelemetry {
+		reg = telemetry.NewRegistry()
+	}
+	e.instr = newEngineInstr(opts.TelemetrySampleEvery, reg)
 	if !opts.MemoDisabled && opts.MemoBytes >= 0 {
 		budget := opts.MemoBytes
 		if budget == 0 {
@@ -286,6 +316,19 @@ func NewEngineStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, o
 		e.memo = newRepairMemo(schema, budget)
 		e.instr.registerMemo(e.memo)
 	}
+	if opts.Breaker.Enabled {
+		bo := opts.Breaker.withDefaults()
+		e.breaker = &breaker{}
+		e.breaker.init(bo)
+		if bo.PerRule {
+			e.ruleBreakers = make([]breaker, len(drs))
+			for i := range e.ruleBreakers {
+				e.ruleBreakers[i].init(bo)
+			}
+		}
+		e.instr.registerBreaker(e)
+	}
+	e.recorder = opts.Recorder
 	return e, nil
 }
 
@@ -352,7 +395,20 @@ func (e *Engine) applicable(t *relation.Tuple, out rules.Outcome) bool {
 // alts is non-nil, the full candidate list of every rewritten cell is
 // recorded there — the paper scores a multi-version repair as correct
 // when *any* version matches the ground truth (§V-A).
-func (e *Engine) apply(t *relation.Tuple, out rules.Outcome, version int, alts map[string][]string) []string {
+//
+// detectOnly is the circuit breaker's degraded mode: only the marks
+// are written — the cells the rule implicates — and every value write
+// (canonicalization and repair alike) is skipped. The nil changed
+// return is load-bearing: fastStep's post-apply block re-asserts the
+// positive check as memoTrue, which would be wrong for a value that
+// was never rewritten, and is skipped only when nothing changed.
+func (e *Engine) apply(t *relation.Tuple, out rules.Outcome, version int, alts map[string][]string, detectOnly bool) []string {
+	if detectOnly {
+		for _, c := range out.MarkCols {
+			t.Marked[e.Schema.MustCol(c)] = true
+		}
+		return nil
+	}
 	var changed []string
 	for c, v := range out.Canonical {
 		col := e.Schema.MustCol(c)
@@ -410,7 +466,7 @@ func (e *Engine) basicRepair(t *relation.Tuple, alts map[string][]string) *relat
 				e.count(tupleBudgetExhausted, nil)
 				return t.Clone()
 			}
-			e.apply(cl, out, 0, alts)
+			e.apply(cl, out, 0, alts, false)
 			used[i] = true // each rule is applied at most once (Alg. 1 line 8)
 			progress = true
 			break
@@ -489,29 +545,55 @@ func (e *Engine) fastRepairOutcomeOn(g *kb.Graph, t *relation.Tuple, alts map[st
 // same pinned generation the panicking repair ran on: replaying a
 // poisoned row quarantines from the cache without re-tripping the
 // kernel.
+// The circuit breaker fronts everything: while open, the tuple is
+// served detect-only (marks, no rewrites) and the memo is bypassed in
+// both directions; a half-open probe runs a fresh full repair —
+// skipping the memo read so a cached quarantine verdict cannot fail
+// the probe forever — and its outcome decides whether the breaker
+// closes or reopens.
 func (e *Engine) repairTupleSafe(t *relation.Tuple) (out *relation.Tuple, oc tupleOutcome) {
+	if rr := e.recorder; rr != nil {
+		rr.Record(t.Values)
+	}
 	g := e.Cat.Graph()
+	degrade, probe := e.breakerAdmit()
+	if degrade {
+		return e.detectOnlyTupleOn(g, t)
+	}
 	memo := e.memo
 	var gen int64
 	var fp uint64
 	if memo != nil {
 		gen = g.Generation()
 		fp = memo.tupleFP(t.Values, t.Marked)
-		if cl, moc, ok := memo.getTupleClone(gen, fp, t.Values, t.Marked); ok {
-			e.count(moc, nil)
-			return cl, moc
+		if !probe {
+			if cl, moc, ok := memo.getTupleClone(gen, fp, t.Values, t.Marked); ok {
+				e.count(moc, nil)
+				return cl, moc
+			}
 		}
 	}
+	st := e.getStateOn(g)
+	st.brk = true
+	st.probe = probe
 	defer func() {
 		if r := recover(); r != nil {
 			out, oc = t.Clone(), tupleQuarantined
+			e.breakerObserve(st, oc)
 			e.count(oc, nil)
 			if memo != nil {
 				memo.putTuple(gen, fp, t.Values, t.Marked, out, oc, true)
 			}
 		}
 	}()
-	out, oc = e.fastRepairOutcomeOn(g, t, nil)
+	cl := t.Clone()
+	if e.runFast(cl, st) {
+		out, oc = cl, tupleOK
+	} else {
+		out, oc = t.Clone(), tupleBudgetExhausted
+	}
+	e.breakerObserve(st, oc)
+	e.putState(st)
 	e.count(oc, nil)
 	if memo != nil {
 		memo.putTuple(gen, fp, t.Values, t.Marked, out, oc, true)
@@ -604,6 +686,20 @@ type fastState struct {
 
 	stepsLeft int  // remaining rule applications before degrade
 	exceeded  bool // step budget exhausted for this tuple
+
+	// Circuit-breaker bookkeeping (see breaker.go). brk marks a tuple
+	// whose caller will fold the outcome into the breakers via
+	// breakerObserve; per-rule breakers are consulted only then, so an
+	// eval-path tuple can never strand a probe token. lastRule is the
+	// rule index being evaluated, read by panic recovery for
+	// attribution; ran/probes collect the per-rule samples to record
+	// at tuple end.
+	detectOnly bool
+	brk        bool
+	probe      bool
+	lastRule   int32
+	ran        []int32
+	probes     []int32
 }
 
 // getState returns a reset fastState pinned to the store's current
@@ -637,6 +733,12 @@ func (e *Engine) getStateOn(g *kb.Graph) *fastState {
 	st.gen = g.Generation()
 	st.stepsLeft = e.stepBudget
 	st.exceeded = false
+	st.detectOnly = false
+	st.brk = false
+	st.probe = false
+	st.lastRule = -1
+	st.ran = st.ran[:0]
+	st.probes = st.probes[:0]
 	return st
 }
 
@@ -673,6 +775,22 @@ func (e *Engine) nodeCheckMemo(m *rules.Matcher, st *fastState, t *relation.Tupl
 // suppressed, because a failed evidence check may become true after
 // another rule in the same component repairs a value.
 func (e *Engine) fastStep(t *relation.Tuple, idx int, st *fastState, cyclic bool) bool {
+	// Attribute any panic or budget exhaustion from here on to this
+	// rule; breakerObserve reads it out of the abandoned state.
+	st.lastRule = int32(idx)
+	if e.ruleBreakers != nil && st.brk && !st.detectOnly {
+		switch degrade, probe := e.ruleBreakers[idx].admit(); {
+		case degrade:
+			// This rule's own breaker is open: skip it for this tuple,
+			// let every other rule keep repairing.
+			st.alive[idx] = false
+			return false
+		case probe:
+			st.probes = append(st.probes, int32(idx))
+		default:
+			st.ran = append(st.ran, int32(idx))
+		}
+	}
 	m := e.fast[idx]
 	if e.opts.NoIndexes {
 		m = e.slow[idx]
@@ -748,7 +866,7 @@ evaluate:
 	if out.Kind == rules.Repair {
 		oldValue = t.Values[e.Schema.MustCol(out.RepairCol)]
 	}
-	changed := e.apply(t, out, 0, st.alts)
+	changed := e.apply(t, out, 0, st.alts, st.detectOnly)
 	e.recordStep(st, idx, out, oldValue)
 	st.alive[idx] = false
 

@@ -668,24 +668,44 @@ func (e *Engine) RepairRow(dst *relation.Tuple, rec []string) (RowOutcome, bool)
 // row to emit (repaired on OK, original otherwise). rec must be
 // unmarked input; owned follows putTuple's contract.
 func (e *Engine) repairRowMemo(tup *relation.Tuple, rec []string, owned bool) (tupleOutcome, bool) {
-	memo := e.memo
-	if memo == nil {
+	if rr := e.recorder; rr != nil {
+		rr.Record(rec)
+	}
+	g := e.Cat.Graph() // pin: lookup, repair, and insert see one generation
+	degrade, probe := e.breakerAdmit()
+	if degrade {
+		// Detect-only while the breaker is open: rules mark, values stay
+		// original, and the memo is bypassed in both directions so stale
+		// degraded verdicts never outlive the incident.
 		copyRecInto(tup, rec)
-		oc := e.repairRowSafeOn(e.Cat.Graph(), tup)
+		oc := e.detectOnlyRowOn(g, tup)
 		if oc != tupleOK {
 			copyRecInto(tup, rec)
 		}
 		return oc, false
 	}
-	g := e.Cat.Graph() // pin: lookup, repair, and insert see one generation
+	memo := e.memo
+	if memo == nil {
+		copyRecInto(tup, rec)
+		oc := e.repairRowSafeOn(g, tup, probe)
+		if oc != tupleOK {
+			copyRecInto(tup, rec)
+		}
+		return oc, false
+	}
 	gen := g.Generation()
 	fp := memo.tupleFP(rec, nil)
-	if oc, ok := memo.getRowInto(gen, fp, rec, tup); ok {
-		e.count(oc, nil)
-		return oc, true
+	if !probe {
+		// A half-open probe skips the memo read: a cached quarantine
+		// verdict must not decide the probe, and the fresh verdict below
+		// overwrites (heals) the poisoned entry.
+		if oc, ok := memo.getRowInto(gen, fp, rec, tup); ok {
+			e.count(oc, nil)
+			return oc, true
+		}
 	}
 	copyRecInto(tup, rec)
-	oc := e.repairRowSafeOn(g, tup)
+	oc := e.repairRowSafeOn(g, tup, probe)
 	if oc != tupleOK {
 		// Keep-original-value: the partially repaired state is
 		// discarded, and that degraded verdict is what gets memoized —

@@ -46,13 +46,13 @@ func (e *Engine) RepairVersions(t *relation.Tuple) []*relation.Tuple {
 					// current state continues with version 0.
 					for v := 1; v < len(out.Repairs) && total < MaxVersions; v++ {
 						branch := state{t: s.t.Clone(), used: append([]bool(nil), s.used...)}
-						e.apply(branch.t, out, v, nil)
+						e.apply(branch.t, out, v, nil, false)
 						branch.used[i] = true
 						work = append(work, branch)
 						total++
 					}
 				}
-				e.apply(s.t, out, 0, nil)
+				e.apply(s.t, out, 0, nil, false)
 				s.used[i] = true
 				progress = true
 				break

@@ -22,7 +22,7 @@ func (e *Engine) RepairWithOrder(t *relation.Tuple, order []int) *relation.Tuple
 			if !e.applicable(cl, out) {
 				continue
 			}
-			e.apply(cl, out, 0, nil)
+			e.apply(cl, out, 0, nil, false)
 			used[i] = true
 			progress = true
 			break

@@ -5,13 +5,17 @@
 //
 //	reader ──chunks──▶ workers(×N) ──done──▶ reassembly
 //
-// The reader batches CSV rows into fixed-size chunks, deep-copying
-// each record out of the csv.Reader's reused buffers; workers run the
+// The reader batches CSV rows into fixed-size chunks, copying each
+// record out of the csv.Reader's reused slice; workers run the
 // in-place fast repair (pooled fastState, shared candidate cache)
 // over whole chunks as a read-through of the global cross-request
 // memo (falling back to in-chunk-only deduplication when the memo is
 // disabled); the reassembly stage — the calling goroutine — writes
-// chunks back in input order.
+// chunks back in input order and recycles each chunk, with its input
+// and output arenas, through a pool. Once the pool is warm the
+// pipeline does no per-row allocation of its own, so a memo-served
+// row costs roughly its ~0.2µs cache hit rather than a dozen output
+// allocations.
 //
 // Memory is bounded to O(workers · chunk): the reader must acquire an
 // in-flight token before emitting a chunk and the reassembly stage
@@ -33,8 +37,6 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 	"sync"
 
 	"detective/internal/relation"
@@ -47,17 +49,62 @@ import (
 // worst-case buffered memory (maxInflight chunks) small.
 const DefaultStreamChunkSize = 256
 
-// rowChunk is one unit of pipeline work: a batch of deep-copied input
+// rowChunk is one unit of pipeline work: a batch of copied input
 // rows, and after a worker has processed it, the formatted output
 // rows plus the outcome tallies for the batch.
+//
+// Chunks are recycled through rowChunkPool: rows and out are
+// fixed-stride views into the flat rowBuf/outBuf arenas, so a full
+// reader→worker→reassembly trip costs zero per-row allocations once
+// the pool is warm — the difference between the memoized 8-worker
+// pipeline beating or losing to memoized serial on skewed corpora,
+// where the repair itself is a ~0.2µs memo hit and the per-row output
+// record used to dominate.
 type rowChunk struct {
 	seq  int        // position in the input stream, 0-based
-	rows [][]string // deep-copied input records
-	out  [][]string // formatted output rows (worker-filled)
+	rows [][]string // copied input records (arena-backed)
+	out  [][]string // formatted output rows (worker-filled, arena-backed)
+
+	rowBuf []string // flat arena behind rows
+	outBuf []string // flat arena behind out
 
 	quarantined int
 	budget      int
 	deduped     int
+}
+
+var rowChunkPool = sync.Pool{New: func() any { return new(rowChunk) }}
+
+// getRowChunk returns a recycled chunk sized for chunkSize rows of
+// arity cells, with tallies zeroed and row headers reset. Stale string
+// headers from the previous use stay in the arenas until overwritten;
+// they pin at most one chunk's worth of cells per pooled object.
+func getRowChunk(seq, chunkSize, arity int) *rowChunk {
+	c := rowChunkPool.Get().(*rowChunk)
+	c.seq = seq
+	c.quarantined, c.budget, c.deduped = 0, 0, 0
+	if n := chunkSize * arity; cap(c.rowBuf) < n {
+		c.rowBuf = make([]string, n)
+	}
+	if cap(c.rows) < chunkSize {
+		c.rows = make([][]string, 0, chunkSize)
+	}
+	c.rows = c.rows[:0]
+	c.out = c.out[:0]
+	return c
+}
+
+// appendRow copies rec into the chunk's next arena slot. Only the
+// string headers are copied: the csv.Reader's ReuseRecord recycles the
+// record slice, but the field strings themselves are freshly built per
+// record (one batched allocation in encoding/csv), so a header copy is
+// a complete deep copy.
+func (c *rowChunk) appendRow(rec []string) {
+	arity := len(rec)
+	n := len(c.rows) * arity
+	row := c.rowBuf[n : n+arity : n+arity]
+	copy(row, rec)
+	c.rows = append(c.rows, row)
 }
 
 // cleanStreamParallel drives the pipeline over an already-validated
@@ -88,7 +135,7 @@ func (e *Engine) cleanStreamParallel(ctx context.Context, cr *csv.Reader, cw *cs
 	go func() {
 		defer close(chunks)
 		seq := 0
-		cur := &rowChunk{seq: seq, rows: make([][]string, 0, chunkSize)}
+		cur := getRowChunk(seq, chunkSize, arity)
 		send := func(c *rowChunk) bool {
 			select {
 			case tokens <- struct{}{}:
@@ -121,27 +168,25 @@ func (e *Engine) cleanStreamParallel(ctx context.Context, cr *csv.Reader, cw *cs
 				readErr = fmt.Errorf("repair: CSV line %d has %d fields, want %d", lineno, len(rec), arity)
 				break
 			}
-			// Deep copy before the row crosses the chunk channel:
-			// with ReuseRecord both the record slice and the string
-			// bytes alias the reader's internal buffer, which the next
-			// Read overwrites.
-			row := make([]string, arity)
-			for i, v := range rec {
-				row[i] = strings.Clone(v)
-			}
-			cur.rows = append(cur.rows, row)
+			// Copy before the row crosses the chunk channel: with
+			// ReuseRecord the record slice aliases the reader's
+			// internal buffer, which the next Read overwrites (the
+			// field strings are fresh; see appendRow).
+			cur.appendRow(rec)
 			if len(cur.rows) == chunkSize {
 				if !send(cur) {
 					return
 				}
 				seq++
-				cur = &rowChunk{seq: seq, rows: make([][]string, 0, chunkSize)}
+				cur = getRowChunk(seq, chunkSize, arity)
 			}
 		}
 		// Rows read before a mid-stream failure still get cleaned and
 		// flushed, exactly like the serial path.
 		if len(cur.rows) > 0 {
 			send(cur)
+		} else {
+			rowChunkPool.Put(cur)
 		}
 	}()
 
@@ -204,6 +249,9 @@ func (e *Engine) cleanStreamParallel(ctx context.Context, cr *csv.Reader, cw *cs
 				cancel()
 				break
 			}
+			// The csv.Writer has copied every cell into its own
+			// buffer, so the chunk and its arenas can be recycled.
+			rowChunkPool.Put(nc)
 			<-tokens
 		}
 		if werr != nil {
@@ -246,78 +294,100 @@ func (e *Engine) repairChunk(c *rowChunk, marked bool) {
 		Values: make([]string, arity),
 		Marked: make([]bool, arity),
 	}
-	c.out = make([][]string, len(c.rows))
-	if e.memo != nil {
-		for i, rec := range c.rows {
-			// owned=true: the reader stage deep-copied the row, so the
-			// memo may retain its strings as-is.
-			oc, hit := e.repairRowMemo(tup, rec, true)
-			out := make([]string, arity)
-			formatRow(out, tup, marked)
-			c.out[i] = out
-			tallyChunkOutcome(c, oc)
-			if hit {
-				c.deduped++
-				e.instr.streamDeduped.Inc()
-			}
-		}
-		e.instr.streamChunks.Inc()
-		return
+	// Output rows are fixed-stride views into the chunk's recycled
+	// arena; nextOut never allocates once the chunk has been through
+	// the pool at this (chunkSize, arity) shape.
+	if n := len(c.rows) * arity; cap(c.outBuf) < n {
+		c.outBuf = make([]string, n)
 	}
-
+	nextOut := func() []string {
+		n := len(c.out) * arity
+		out := c.outBuf[n : n+arity : n+arity]
+		c.out = append(c.out, out)
+		return out
+	}
+	// In-chunk dedup sits in front of repairRowMemo on both the
+	// memo-enabled and memo-disabled paths. With the memo on it is a
+	// contention shield, not a correctness feature: skewed corpora
+	// repeat the same hot row many times per chunk, and N workers
+	// re-fetching one memo entry serialize on its shard — the
+	// chunk-local map serves repeats with zero shared state while the
+	// memo still deduplicates across chunks, calls, and connections.
+	// With the memo off it is the only dedup there is. Either way,
+	// duplicates are skipped while the circuit breaker is engaged, so
+	// detect-only degradation and half-open probes see every row
+	// exactly like the serial path.
 	type dedupEntry struct {
+		rec []string // arena-backed input row, for collision checks
 		out []string
 		oc  tupleOutcome
 	}
-	var dedup map[string]dedupEntry
+	var dedup map[uint64]dedupEntry
 	if len(c.rows) > 1 {
-		dedup = make(map[string]dedupEntry, len(c.rows))
+		dedup = make(map[uint64]dedupEntry, len(c.rows))
 	}
-	var key strings.Builder
-	for i, rec := range c.rows {
-		var k string
-		if dedup != nil {
-			// Length-prefixed fingerprint: unambiguous for any cell
-			// bytes, cheaper than hashing each field separately.
-			key.Reset()
-			for _, v := range rec {
-				key.WriteString(strconv.Itoa(len(v)))
-				key.WriteByte(':')
-				key.WriteString(v)
-			}
-			k = key.String()
-			if ent, ok := dedup[k]; ok {
-				c.out[i] = ent.out
+	// Dedup-served rows touch no shared state in the loop: their
+	// outcome counters accumulate here and flush once per chunk, so on
+	// a skewed corpus the workers' only per-row cross-core traffic is
+	// the occasional distinct row that actually reaches the memo.
+	var dupOutcomes [3]int64
+	for _, rec := range c.rows {
+		var fp uint64
+		cached := false
+		if dedup != nil && !e.breakerEngaged() {
+			// Keyed by the same alloc-free hash the memo uses; the
+			// stored input row guards against a 64-bit collision.
+			fp = chunkRowFP(rec)
+			cached = true
+			if ent, ok := dedup[fp]; ok && equalRow(ent.rec, rec) {
+				// Copy the cached row into this row's own arena slot
+				// (header copies only) rather than aliasing it: every
+				// out row stays a distinct arena view, which is what
+				// makes recycling the chunk safe.
+				copy(nextOut(), ent.out)
 				tallyChunkOutcome(c, ent.oc)
 				c.deduped++
 				// Duplicates still count as processed tuples in the
-				// engine's lifetime and telemetry counters.
-				e.count(ent.oc, nil)
-				e.instr.streamDeduped.Inc()
+				// engine's lifetime and telemetry counters — batched
+				// into the per-chunk flush below.
+				dupOutcomes[ent.oc]++
 				continue
 			}
 		}
-		copy(tup.Values, rec)
-		for j := range tup.Marked {
-			tup.Marked[j] = false
-		}
-		oc := e.repairRowSafeOn(e.Cat.Graph(), tup)
-		if oc != tupleOK {
-			// Keep-original-value, as on the serial path.
-			copy(tup.Values, rec)
-			for j := range tup.Marked {
-				tup.Marked[j] = false
-			}
-		}
-		out := make([]string, arity)
+		// repairRowMemo fronts the repair with the row recorder, the
+		// circuit breaker, and (when enabled) the global memo, with
+		// keep-original-value degradation as on the serial path.
+		// owned=true: the reader stage copied the row out of the
+		// csv.Reader's buffers, so the memo may retain its strings.
+		oc, hit := e.repairRowMemo(tup, rec, true)
+		out := nextOut()
 		formatRow(out, tup, marked)
-		c.out[i] = out
 		tallyChunkOutcome(c, oc)
-		if dedup != nil {
-			dedup[k] = dedupEntry{out: out, oc: oc}
+		if hit {
+			c.deduped++
+		}
+		if cached {
+			dedup[fp] = dedupEntry{rec: rec, out: out, oc: oc}
 		}
 	}
+	for oc, n := range dupOutcomes {
+		e.countN(tupleOutcome(oc), n)
+	}
+	if c.deduped > 0 {
+		e.instr.streamDeduped.Add(int64(c.deduped))
+	}
 	e.instr.streamChunks.Inc()
+}
+
+// chunkRowFP hashes one input row for the in-chunk dedup map with the
+// memo's alloc-free mixer (unseeded: the chunk map never outlives one
+// chunk of one schema, so the memo's schema seed adds nothing).
+func chunkRowFP(rec []string) uint64 {
+	var h uint64
+	for _, v := range rec {
+		h = fpString(h, v)
+	}
+	return fpFinish(h)
 }
 
 func tallyChunkOutcome(c *rowChunk, oc tupleOutcome) {

@@ -188,13 +188,14 @@ func TestStreamParallelDedup(t *testing.T) {
 }
 
 // TestStreamParallelDeepCopiesRecords is the aliasing regression test
-// for the reader stage. The csv.Reader runs with ReuseRecord, so both
-// the record slice and its string bytes are overwritten by the next
-// Read; rows must be deep-copied before crossing the chunk channel.
-// With the copy removed, the reader races ahead of the workers
-// (chunk=1 forces a row per channel hop) and earlier rows are observed
-// mutated, so the output diverges from the serial reference on
-// essentially every run.
+// for the reader stage. The csv.Reader runs with ReuseRecord, so the
+// record slice is overwritten by the next Read (the field strings are
+// fresh per record); row headers must be copied into the chunk's own
+// arena before crossing the chunk channel, and recycled chunks must
+// never share output rows. With either property broken, the reader
+// races ahead of the workers (chunk=1 forces a row per channel hop)
+// and earlier rows are observed mutated, so the output diverges from
+// the serial reference on essentially every run.
 func TestStreamParallelDeepCopiesRecords(t *testing.T) {
 	nb := dataset.NewNobel(9, 400)
 	inj := nb.Inject(dataset.Noise{Rate: 0.2, TypoFrac: 0.5, Seed: 9})

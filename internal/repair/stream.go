@@ -168,16 +168,25 @@ func formatRow(dst []string, tup *relation.Tuple, marked bool) {
 // repairRowSafeOn runs the in-place repair on the pinned graph g
 // under a panic quarantine and tallies the outcome into the engine's
 // lifetime counters. On a non-OK outcome tup is left in an undefined
-// state; the caller restores the original record.
-func (e *Engine) repairRowSafeOn(g *kb.Graph, tup *relation.Tuple) (oc tupleOutcome) {
+// state; the caller restores the original record. probe marks this row
+// as the breaker's half-open probe: its outcome resolves the breaker.
+func (e *Engine) repairRowSafeOn(g *kb.Graph, tup *relation.Tuple, probe bool) (oc tupleOutcome) {
+	st := e.getStateOn(g)
+	st.brk = true
+	st.probe = probe
 	defer func() {
 		if r := recover(); r != nil {
 			oc = tupleQuarantined
+			e.breakerObserve(st, oc)
 		}
 		e.count(oc, nil)
 	}()
-	if !e.repairInPlaceOn(g, tup) {
-		return tupleBudgetExhausted
+	if e.runFast(tup, st) {
+		oc = tupleOK
+	} else {
+		oc = tupleBudgetExhausted
 	}
-	return tupleOK
+	e.breakerObserve(st, oc)
+	e.putState(st)
+	return oc
 }

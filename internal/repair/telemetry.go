@@ -19,6 +19,10 @@ const DefaultTelemetrySampleEvery = 64
 // idempotent), mirroring how one process serves one workload.
 type engineInstr struct {
 	sampler *telemetry.Sampler
+	// reg is the registry every collector was built against — the
+	// process default normally, a private registry for scratch engines
+	// (canary shadow replays) that must not pollute serving metrics.
+	reg *telemetry.Registry
 
 	// tupleSeconds is the sampled end-to-end fast-repair latency.
 	tupleSeconds *telemetry.Histogram
@@ -44,17 +48,16 @@ type engineInstr struct {
 	streamDeduped *telemetry.Counter
 }
 
-// newEngineInstr builds the engine's collectors against the default
-// registry. sampleEvery <= -1 disables latency sampling entirely;
-// 0 picks DefaultTelemetrySampleEvery.
-func newEngineInstr(sampleEvery int) *engineInstr {
+// newEngineInstr builds the engine's collectors against reg.
+// sampleEvery <= -1 disables latency sampling entirely; 0 picks
+// DefaultTelemetrySampleEvery.
+func newEngineInstr(sampleEvery int, reg *telemetry.Registry) *engineInstr {
 	if sampleEvery == 0 {
 		sampleEvery = DefaultTelemetrySampleEvery
 	}
 	if sampleEvery < 0 {
 		sampleEvery = 0 // Sampler admits nothing
 	}
-	reg := telemetry.Default()
 	stage := func(name string) *telemetry.Histogram {
 		return reg.Histogram("detective_repair_stage_seconds",
 			"Sampled per-stage latency within one tuple repair.",
@@ -62,6 +65,7 @@ func newEngineInstr(sampleEvery int) *engineInstr {
 	}
 	in := &engineInstr{
 		sampler: telemetry.NewSampler(sampleEvery),
+		reg:     reg,
 		tupleSeconds: reg.Histogram("detective_repair_tuple_seconds",
 			"Sampled end-to-end latency of one fast-repair tuple.",
 			telemetry.DefBuckets),
@@ -91,7 +95,7 @@ func newEngineInstr(sampleEvery int) *engineInstr {
 // the newest memo-enabled engine in the process owns the series —
 // the same newest-wins convention the server's cache metrics use.
 func (in *engineInstr) registerMemo(m *repairMemo) {
-	reg := telemetry.Default()
+	reg := in.reg
 	tier := func(name string) telemetry.Label {
 		return telemetry.Label{Name: "tier", Value: name}
 	}
@@ -134,6 +138,41 @@ func (in *engineInstr) registerMemo(m *repairMemo) {
 	reg.GaugeFunc("detective_memo_entries",
 		"Entries held by the repair memo, by tier.",
 		func() float64 { return float64(m.cellStats.entries.Load()) }, tier("cell"))
+}
+
+// registerBreaker exposes the engine's circuit breaker as scrape-time
+// series. Newest-wins, like registerMemo.
+func (in *engineInstr) registerBreaker(e *Engine) {
+	reg := in.reg
+	b := e.breaker
+	reg.CounterFunc("detective_breaker_trips_total",
+		"Circuit-breaker closed-to-open transitions.",
+		func() float64 { return float64(b.trips.Load()) })
+	reg.CounterFunc("detective_breaker_reopens_total",
+		"Failed half-open probe repairs that reopened the breaker.",
+		func() float64 { return float64(b.reopens.Load()) })
+	reg.CounterFunc("detective_breaker_recoveries_total",
+		"Successful half-open probe repairs that closed the breaker.",
+		func() float64 { return float64(b.recoveries.Load()) })
+	reg.CounterFunc("detective_breaker_degraded_rows_total",
+		"Rows served detect-only while the breaker was open.",
+		func() float64 { return float64(b.degradedTotal.Load()) })
+	reg.GaugeFunc("detective_breaker_state",
+		"Circuit-breaker state: 0 closed, 1 open, 2 half-open.",
+		func() float64 { return float64(b.state.Load()) })
+	if e.ruleBreakers != nil {
+		reg.GaugeFunc("detective_breaker_open_rules",
+			"Rules whose per-rule breakers are not closed.",
+			func() float64 {
+				n := 0
+				for i := range e.ruleBreakers {
+					if e.ruleBreakers[i].state.Load() != breakerClosed {
+						n++
+					}
+				}
+				return float64(n)
+			})
+	}
 }
 
 // stageTimer accumulates per-stage wall time for one sampled tuple.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"net/http"
 	"time"
 
@@ -51,15 +52,20 @@ type reloadResponse struct {
 	LoadSeconds float64 `json:"loadSeconds"`
 	Nodes       int     `json:"nodes"`
 	Triples     int     `json:"triples"`
+	// Canary carries the integrity-check and shadow-replay results the
+	// staged reload based its promote/reject decision on.
+	Canary *CanaryReport `json:"canary,omitempty"`
 }
 
 // ReloadHandler returns the admin POST /reload handler for the ops
 // mux (it is deliberately not registered on the public listener). On
 // each request it calls load — typically re-reading the -kb or
-// -kb-snapshot file — and, on success, hot-swaps the result in via
-// ReloadKB. Load failures leave the serving graph untouched and
-// answer 500 with the error, so a bad file on disk can never take
-// down a healthy server.
+// -kb-snapshot file — and, on success, stages the result through the
+// canary pipeline (integrity self-check, shadow replay, watchdog) via
+// StageReloadKB. Load failures answer 500 and canary rejections 409;
+// both leave the serving graph untouched, so a bad file on disk — or
+// a structurally broken graph inside a well-formed file — can never
+// take down a healthy server.
 func (s *Server) ReloadHandler(load func() (*kb.Graph, error)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -76,13 +82,25 @@ func (s *Server) ReloadHandler(load func() (*kb.Graph, error)) http.Handler {
 			return
 		}
 		loadTime := time.Since(start)
-		gen := s.ReloadKB(g, loadTime)
+		gen, rep, err := s.StageReloadKB(g, loadTime)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrCanaryRejected) {
+				status = http.StatusConflict
+			}
+			s.log.Error("kb reload rejected; keeping current graph",
+				"error", err,
+				"request_id", telemetry.RequestID(r.Context()))
+			writeError(w, status, "reload rejected: %v", err)
+			return
+		}
 		writeJSON(w, reloadResponse{
 			Generation:  gen,
 			Swaps:       s.store.Swaps(),
 			LoadSeconds: loadTime.Seconds(),
 			Nodes:       g.NumNodes(),
 			Triples:     g.NumTriples(),
+			Canary:      rep,
 		})
 	})
 }

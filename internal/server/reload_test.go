@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"detective/internal/faultinject"
 	"detective/internal/kb"
 	"detective/internal/relation"
 	"detective/internal/rules"
@@ -247,5 +249,127 @@ func TestReloadUnderLoad(t *testing.T) {
 	swapper.Wait()
 	if s.Store().Swaps() == 0 {
 		t.Fatal("no swap happened during the run")
+	}
+}
+
+// TestReloadUnderLoadSurvivesBadCandidates hammers /clean while the
+// reload path is fed nothing but poisoned candidates: snapshots that
+// fail mid-decode (injected read fault) and graphs that fail the
+// strict integrity self-check. Neither class may displace the serving
+// generation or fail a single in-flight request.
+func TestReloadUnderLoadSurvivesBadCandidates(t *testing.T) {
+	s := newReloadServer(t, server.Config{MaxConcurrent: 64, VerifyMode: "strict"})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// A well-formed snapshot whose stream is cut mid-decode.
+	var snap bytes.Buffer
+	if err := reloadGraph("B").WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	loadTruncated := func() (*kb.Graph, error) {
+		return kb.LoadSnapshot(&faultinject.Reader{
+			R:         bytes.NewReader(snap.Bytes()),
+			FailAfter: int64(snap.Len()) / 2,
+		})
+	}
+	// A decodable graph that strict verify rejects (taxonomy cycle).
+	loadSuspect := func() (*kb.Graph, error) {
+		g := reloadGraph("B")
+		g.AddSubclass("city", "country")
+		g.AddSubclass("country", "city")
+		return g, nil
+	}
+	mux := http.NewServeMux()
+	mux.Handle("POST /reload/truncated", s.ReloadHandler(loadTruncated))
+	mux.Handle("POST /reload/suspect", s.ReloadHandler(loadSuspect))
+	opsTS := httptest.NewServer(mux)
+	defer opsTS.Close()
+
+	startGen := s.Store().Generation()
+
+	const rows = 100
+	var in strings.Builder
+	in.WriteString("Name,City,Country\n")
+	for i := 0; i < rows; i++ {
+		in.WriteString("Alice,ParisX,EuroX\n")
+	}
+	csv := in.String()
+
+	done := make(chan struct{})
+	var reloader sync.WaitGroup
+	reloader.Add(1)
+	go func() {
+		defer reloader.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			path := "/reload/truncated"
+			want := http.StatusInternalServerError
+			if i%2 == 1 {
+				path = "/reload/suspect"
+				want = http.StatusConflict
+			}
+			resp, err := http.Post(opsTS.URL+path, "", nil)
+			if err != nil {
+				t.Errorf("%s: %v", path, err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != want {
+				t.Errorf("%s status = %d, want %d: %s", path, resp.StatusCode, want, body)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 5; r++ {
+				resp, err := http.Post(ts.URL+"/clean", "text/csv", strings.NewReader(csv))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("/clean status = %d: %s", resp.StatusCode, body)
+					return
+				}
+				lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+				if len(lines) != rows+1 {
+					t.Errorf("got %d output lines, want %d", len(lines), rows+1)
+					return
+				}
+				for i, line := range lines[1:] {
+					if line != "Alice,ParisA,EuroA" {
+						t.Errorf("row %d served off a poisoned candidate: %q", i, line)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	reloader.Wait()
+
+	if got := s.Store().Generation(); got != startGen {
+		t.Fatalf("generation moved %d -> %d under poisoned reloads", startGen, got)
+	}
+	if s.Store().Swaps() != 0 {
+		t.Fatalf("poisoned candidate swapped in (swaps = %d)", s.Store().Swaps())
 	}
 }

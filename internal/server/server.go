@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"detective/internal/kb"
+	"detective/internal/kb/verify"
 	"detective/internal/relation"
 	"detective/internal/repair"
 	"detective/internal/rules"
@@ -102,6 +103,48 @@ type Config struct {
 	MemoBytes int64
 	// MemoDisabled turns the repair memo off.
 	MemoDisabled bool
+	// VerifyMode is the KB integrity self-check mode applied to every
+	// candidate graph handed to StageReloadKB: "off", "warn" (default —
+	// findings are logged, the reload proceeds) or "strict" (a report
+	// with errors rejects the candidate before it is ever served).
+	VerifyMode string
+	// RetainGenerations is how many previously-served graphs the store
+	// keeps for rollback (POST /rollback and the canary watchdog).
+	// 0 picks 2; negative disables retention.
+	RetainGenerations int
+	// RecorderRows and RecorderSampleEvery size the ring buffer of
+	// recent input rows the canary replays against a candidate graph:
+	// up to RecorderRows rows (0 picks 1024), sampling one row in every
+	// RecorderSampleEvery (0 picks 16). RecorderSampleEvery < 0
+	// disables recording — and with it the shadow replay.
+	RecorderRows        int
+	RecorderSampleEvery int
+	// CanaryRows caps how many recorded rows the staged reload replays
+	// through scratch engines on the live and candidate graphs before
+	// promoting. 0 replays the whole ring; negative skips the replay.
+	CanaryRows int
+	// CanaryMaxBadDelta is the gate on the shadow replay: the
+	// candidate's bad-row rate (quarantined or step-budget-exhausted)
+	// may exceed the live graph's by at most this fraction, else the
+	// candidate is rejected. 0 picks 0.10.
+	CanaryMaxBadDelta float64
+	// CanaryMaxDivergence, when > 0, additionally rejects a candidate
+	// whose replay output differs from the live graph's on more than
+	// this fraction of rows. Divergence is expected when the KB content
+	// legitimately changed, so it is reported but not gated by default.
+	CanaryMaxDivergence float64
+	// CanaryWatch enables the post-promote watchdog for this long: if
+	// the live bad-row rate over the rows served on the new generation
+	// exceeds the pre-swap rate by CanaryMaxBadDelta (after
+	// CanaryWatchMinRows rows), the server auto-rolls back to the
+	// previous retained generation. 0 disables the watchdog.
+	CanaryWatch time.Duration
+	// CanaryWatchMinRows is the minimum number of post-swap rows before
+	// the watchdog may roll back. 0 picks 32.
+	CanaryWatchMinRows int
+	// Breaker configures the engine's repair circuit breaker
+	// (repair.BreakerOptions); the zero value leaves it disabled.
+	Breaker repair.BreakerOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +165,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SlowRequestThreshold <= 0 {
 		c.SlowRequestThreshold = 5 * time.Second
+	}
+	if c.RetainGenerations == 0 {
+		c.RetainGenerations = 2
+	}
+	if c.RecorderRows <= 0 {
+		c.RecorderRows = 1024
+	}
+	if c.RecorderSampleEvery == 0 {
+		c.RecorderSampleEvery = 16
+	}
+	if c.CanaryMaxBadDelta <= 0 {
+		c.CanaryMaxBadDelta = 0.10
+	}
+	if c.CanaryWatchMinRows <= 0 {
+		c.CanaryWatchMinRows = 32
 	}
 	return c
 }
@@ -152,6 +210,16 @@ type Server struct {
 
 	reloadTotal *telemetry.Counter // completed KB hot-swaps
 	loadSeconds *telemetry.Gauge   // wall time of the last KB load
+
+	// Self-healing lifecycle (canary.go): the integrity self-check mode
+	// for candidate graphs, the sampled ring of recent input rows the
+	// canary replays, and the rollback/canary accounting.
+	verifyMode          verify.Mode
+	recorder            *repair.RowRecorder
+	canaryStagedTotal   *telemetry.Counter // StageReloadKB candidates considered
+	canaryRejectedTotal *telemetry.Counter // candidates rejected pre-promote
+	canaryRollbackTotal *telemetry.Counter // watchdog-initiated rollbacks
+	rollbackTotal       *telemetry.Counter // all rollbacks (manual + auto)
 }
 
 // New builds the server with default Config and pre-warms the
@@ -171,25 +239,40 @@ func NewWithConfig(drs []*rules.DR, g *kb.Graph, schema *relation.Schema, cfg Co
 // itself while requests keep streaming.
 func NewWithStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	mode, err := verify.ParseMode(cfg.VerifyMode)
+	if err != nil {
+		return nil, err
+	}
+	var recorder *repair.RowRecorder
+	if cfg.RecorderSampleEvery > 0 {
+		recorder = repair.NewRowRecorder(cfg.RecorderRows, cfg.RecorderSampleEvery)
+	}
+	if cfg.RetainGenerations > 0 {
+		store.SetRetain(cfg.RetainGenerations)
+	}
 	e, err := repair.NewEngineStore(drs, store, schema, repair.Options{
 		Workers:      cfg.StreamWorkers,
 		ChunkSize:    cfg.StreamChunkSize,
 		MemoBytes:    cfg.MemoBytes,
 		MemoDisabled: cfg.MemoDisabled,
+		Breaker:      cfg.Breaker,
+		Recorder:     recorder,
 	})
 	if err != nil {
 		return nil, err
 	}
 	e.Warm()
 	s := &Server{
-		engine: e,
-		store:  store,
-		rules:  drs,
-		schema: schema,
-		mux:    http.NewServeMux(),
-		cfg:    cfg,
-		log:    cfg.Logger,
-		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		engine:     e,
+		store:      store,
+		rules:      drs,
+		schema:     schema,
+		mux:        http.NewServeMux(),
+		cfg:        cfg,
+		log:        cfg.Logger,
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		verifyMode: mode,
+		recorder:   recorder,
 	}
 
 	reg := cfg.Metrics
@@ -203,6 +286,14 @@ func NewWithStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, cfg
 		"Knowledge-base hot-swaps completed (ReloadKB / POST /reload / SIGHUP).")
 	s.loadSeconds = reg.Gauge("detective_kb_load_seconds",
 		"Wall-clock seconds the most recent KB load (parse or snapshot decode) took.")
+	s.canaryStagedTotal = reg.Counter("detective_kb_canary_staged_total",
+		"Candidate graphs considered by the staged (canary) reload.")
+	s.canaryRejectedTotal = reg.Counter("detective_kb_canary_rejected_total",
+		"Candidate graphs rejected before promotion (integrity self-check or shadow-replay gate).")
+	s.canaryRollbackTotal = reg.Counter("detective_kb_canary_rollback_total",
+		"Automatic rollbacks initiated by the post-promote canary watchdog.")
+	s.rollbackTotal = reg.Counter("detective_kb_rollback_total",
+		"Rollbacks to a retained knowledge-base generation (manual and automatic).")
 	reg.GaugeFunc("detective_kb_generation",
 		"Generation of the currently served knowledge-base graph.",
 		func() float64 { return float64(store.Generation()) })
@@ -564,6 +655,14 @@ type StatsResponse struct {
 	// when ReloadKB publishes a new graph.
 	KBGeneration int64 `json:"kbGeneration"`
 	KBSwaps      int64 `json:"kbSwaps"`
+	// KBRollbacks counts rollbacks to a retained generation;
+	// KBHistory lists the live generation followed by the retained
+	// rollback candidates, newest first.
+	KBRollbacks int64        `json:"kbRollbacks"`
+	KBHistory   []kb.GenInfo `json:"kbHistory,omitempty"`
+	// Breaker is the repair circuit breaker's state (Enabled false
+	// when the breaker is not configured).
+	Breaker repair.BreakerStats `json:"breaker"`
 	// CandidateCache is the catalog's cross-tuple candidate cache;
 	// SignatureIndex is the per-class signature indexes behind it. The
 	// same numbers are exported as Prometheus series on the ops port.
@@ -586,6 +685,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Repair:         s.engine.Stats(),
 		KBGeneration:   g.Generation(),
 		KBSwaps:        s.store.Swaps(),
+		KBRollbacks:    s.store.Rollbacks(),
+		KBHistory:      s.store.History(),
+		Breaker:        s.engine.BreakerStats(),
 		CandidateCache: CacheStats{Hits: ch, Misses: cm, Size: cn},
 		SignatureIndex: CacheStats{Hits: ih, Misses: im, Size: in},
 		Memo:           s.engine.MemoStats(),
