@@ -33,11 +33,13 @@ fault:
 # Chaos drills for the self-healing lifecycle, repeated under the race
 # detector: canary reload rejection (strict self-check, shadow replay),
 # watchdog auto-rollback under live traffic, reloads racing serving
-# traffic against corrupt/suspect candidates, and circuit-breaker
-# trip/probe/recovery.
+# traffic against corrupt/suspect candidates, circuit-breaker
+# trip/probe/recovery, and registry tenant churn (64 tenants through 8
+# residency slots with evictions racing in-flight requests).
 chaos:
 	go test -race -count=3 -run 'TestFaultBreaker' ./internal/repair
 	go test -race -count=3 -run 'TestCanary|TestFaultCanary|TestRollback|TestReloadUnderLoad' ./internal/server
+	go test -race -count=3 -run 'TestLRUChurn|TestEvictionSkipsPinnedTenants|TestReadmissionAfterEviction' ./internal/registry
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -54,8 +56,9 @@ benchdiff:
 	go run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_repair.json
 
 # Snapshot golden gate: packing the checked-in sample KB must be
-# byte-deterministic, and unpacking the snapshot must round-trip to
-# the canonical text source byte-for-byte.
+# byte-deterministic in both formats, and unpacking each snapshot must
+# round-trip to the canonical text source byte-for-byte. verify on the
+# v2 file also cross-checks the mmap'd load against the decode.
 snapshot-check:
 	@tmp="$$(mktemp -d)" && \
 	go run ./cmd/kbtool pack testdata/sample_kb.nt "$$tmp/a.snap" && \
@@ -64,6 +67,13 @@ snapshot-check:
 	go run ./cmd/kbtool unpack "$$tmp/a.snap" "$$tmp/roundtrip.nt" && \
 	cmp "$$tmp/roundtrip.nt" testdata/sample_kb.nt && \
 	go run ./cmd/kbtool verify "$$tmp/a.snap" && \
+	go run ./cmd/kbtool pack -v2 testdata/sample_kb.nt "$$tmp/a2.snap" && \
+	go run ./cmd/kbtool pack -v2 testdata/sample_kb.nt "$$tmp/b2.snap" && \
+	cmp "$$tmp/a2.snap" "$$tmp/b2.snap" && \
+	go run ./cmd/kbtool unpack "$$tmp/a2.snap" "$$tmp/roundtrip2.nt" && \
+	cmp "$$tmp/roundtrip2.nt" testdata/sample_kb.nt && \
+	go run ./cmd/kbtool info "$$tmp/a2.snap" >/dev/null && \
+	go run ./cmd/kbtool verify "$$tmp/a2.snap" && \
 	rm -rf "$$tmp" && echo "snapshot-check: OK"
 
 # Drives real traffic through an httptest server, scrapes the registry

@@ -6,6 +6,23 @@
 // Endpoints (see the server package): POST /clean, POST /explain,
 // GET /rules, GET /stats, GET /healthz, GET /readyz.
 //
+// # Registry mode
+//
+//	detectived -registry tenants.json -addr :8080 -ops-addr :9090
+//
+// -registry replaces the single-tenant flags with a JSON fleet
+// configuration (see the registry package): named tenants, each with
+// its own KB snapshot, rules, schema and limits, served under
+// /v1/{tenant}/clean (plus /explain, /rules, /stats). Only the
+// residency cap's worth of tenants hold a loaded KB at a time; cold
+// tenants are admitted on first request — near-instant when their
+// snapshot is DKBS v2, which is mmap'd in place. The ops listener
+// adds tenant-scoped POST /v1/{tenant}/reload and /rollback and a
+// GET /registry fleet-status document; SIGHUP canary-reloads every
+// resident tenant from its configured source. The serving-limit flags
+// (-timeout, -max-concurrent, -memo-bytes, ...) become per-tenant
+// defaults that tenant configs may override.
+//
 // A second, operator-only listener (-ops-addr, disabled when empty)
 // serves GET /metrics (Prometheus text format: repair latency
 // histograms, cache hit/miss counters, per-route HTTP metrics) and
@@ -34,12 +51,15 @@ import (
 	"time"
 
 	"detective"
+	"detective/internal/registry"
 	"detective/internal/repair"
 	"detective/internal/server"
 	"detective/internal/telemetry"
 )
 
 func main() {
+	registryPath := flag.String("registry", "", "multi-tenant registry config (JSON); replaces -kb/-rules/-schema")
+	warmSpec := flag.String("warm", "", "registry mode: tenants to pre-admit at startup (comma-separated names, or \"all\" for the residency cap's worth)")
 	kbPath := flag.String("kb", "", "knowledge base file (triple format)")
 	kbSnapshot := flag.String("kb-snapshot", "", "knowledge base file (binary snapshot format, see kbtool pack); overrides -kb")
 	rulesPath := flag.String("rules", "", "detective rules file")
@@ -73,8 +93,34 @@ func main() {
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(log)
 
+	baseCfg := server.Config{
+		RequestTimeout:    *reqTimeout,
+		MaxConcurrent:     *maxConcurrent,
+		MaxBodyBytes:      *maxBody,
+		Logger:            log,
+		StreamWorkers:     *streamWorkers,
+		StreamChunkSize:   *streamChunk,
+		MemoBytes:         *memoBytes,
+		MemoDisabled:      *noMemo,
+		VerifyMode:        *verifyMode,
+		RetainGenerations: *retain,
+		CanaryRows:        *canaryRows,
+		CanaryMaxBadDelta: *canaryMaxBadDelta,
+		CanaryWatch:       *canaryWatch,
+		Breaker: repair.BreakerOptions{
+			Enabled: *breakerOn,
+			PerRule: *breakerPerRule,
+		},
+	}
+
+	if *registryPath != "" {
+		runRegistry(log, *registryPath, *warmSpec, *addr, *opsAddr, *drainTimeout, baseCfg)
+		return
+	}
+
 	if (*kbPath == "" && *kbSnapshot == "") || *rulesPath == "" || *schemaSpec == "" {
-		fmt.Fprintln(os.Stderr, "usage: detectived {-kb KB | -kb-snapshot KB.snap} -rules RULES -schema A,B,C [-addr :8080] [-ops-addr :9090]")
+		fmt.Fprintln(os.Stderr, "usage: detectived {-kb KB | -kb-snapshot KB.snap} -rules RULES -schema A,B,C [-addr :8080] [-ops-addr :9090]\n"+
+			"       detectived -registry tenants.json [-addr :8080] [-ops-addr :9090]")
 		os.Exit(2)
 	}
 
@@ -83,12 +129,9 @@ func main() {
 	// flags are set (it is the fast path).
 	loadKB := func() (*detective.KB, error) {
 		if *kbSnapshot != "" {
-			f, err := os.Open(*kbSnapshot)
-			if err != nil {
-				return nil, err
-			}
-			defer f.Close()
-			return detective.LoadKBSnapshot(f)
+			// By path, not reader: DKBS v2 snapshots are mmap'd in
+			// place where supported instead of decoded.
+			return detective.LoadKBSnapshotFile(*kbSnapshot)
 		}
 		f, err := os.Open(*kbPath)
 		if err != nil {
@@ -115,25 +158,7 @@ func main() {
 	}
 	schema := detective.NewSchema(*name, attrs...)
 
-	s, err := server.NewWithConfig(rs, g, schema, server.Config{
-		RequestTimeout:    *reqTimeout,
-		MaxConcurrent:     *maxConcurrent,
-		MaxBodyBytes:      *maxBody,
-		Logger:            log,
-		StreamWorkers:     *streamWorkers,
-		StreamChunkSize:   *streamChunk,
-		MemoBytes:         *memoBytes,
-		MemoDisabled:      *noMemo,
-		VerifyMode:        *verifyMode,
-		RetainGenerations: *retain,
-		CanaryRows:        *canaryRows,
-		CanaryMaxBadDelta: *canaryMaxBadDelta,
-		CanaryWatch:       *canaryWatch,
-		Breaker: repair.BreakerOptions{
-			Enabled: *breakerOn,
-			PerRule: *breakerPerRule,
-		},
-	})
+	s, err := server.NewWithConfig(rs, g, schema, baseCfg)
 	fail(log, err)
 
 	srv := &http.Server{
@@ -147,9 +172,6 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	errc := make(chan error, 2)
-	go func() { errc <- srv.ListenAndServe() }()
 
 	var opsSrv *http.Server
 	if *opsAddr != "" {
@@ -165,7 +187,6 @@ func main() {
 			Handler:           opsMux,
 			ReadHeaderTimeout: 5 * time.Second,
 		}
-		go func() { errc <- opsSrv.ListenAndServe() }()
 		log.Info("ops listener up",
 			slog.String("addr", *opsAddr),
 			slog.String("endpoints", "/metrics /debug/pprof/ POST /reload POST /rollback"))
@@ -175,10 +196,7 @@ func main() {
 	// port access: re-read the KB source and stage it through the
 	// canary. A failed load or a rejected candidate logs and keeps the
 	// current graph serving.
-	hup := make(chan os.Signal, 1)
-	signal.Notify(hup, syscall.SIGHUP)
-	defer signal.Stop(hup)
-	go reloadLoop(ctx, hup, log, func() error {
+	watchHUP(ctx, log, func() error {
 		start := time.Now()
 		ng, err := loadKB()
 		if err != nil {
@@ -200,17 +218,109 @@ func main() {
 		slog.String("addr", *addr),
 		slog.String("log_level", level.String()))
 
+	serveAndDrain(ctx, log, srv, opsSrv, *drainTimeout, func() { s.SetReady(false) })
+}
+
+// runRegistry is registry mode: a fleet of named tenants served under
+// /v1/{tenant}/..., LRU-resident up to the config's cap, with tenant
+// lifecycle and fleet status on the ops listener.
+func runRegistry(log *slog.Logger, cfgPath, warmSpec, addr, opsAddr string, drainTimeout time.Duration, baseCfg server.Config) {
+	cfg, err := registry.LoadConfig(cfgPath)
+	fail(log, err)
+	reg, err := registry.New(*cfg, registry.Options{Logger: log, Server: baseCfg})
+	fail(log, err)
+
+	// Pre-admit the hot set before taking traffic, so first requests
+	// don't pay cold-start loads. A failed warm is a degraded start,
+	// not a fatal one: the tenant retries admission on first request.
+	if warmSpec != "" {
+		var names []string
+		if warmSpec != "all" {
+			names = strings.Split(warmSpec, ",")
+			for i := range names {
+				names[i] = strings.TrimSpace(names[i])
+			}
+		}
+		if err := reg.Warm(names...); err != nil {
+			log.Error("tenant warmup incomplete", slog.Any("error", err))
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.NewTenantMux(reg, log),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var opsSrv *http.Server
+	if opsAddr != "" {
+		opsMux := telemetry.NewOpsMux(telemetry.Default())
+		// The admin tenant mux adds POST /v1/{tenant}/reload and
+		// /v1/{tenant}/rollback; /registry is the fleet-status
+		// document (residency, pins, generations, admission counters).
+		opsMux.Handle("/v1/", server.NewTenantAdminMux(reg, log))
+		opsMux.Handle("GET /registry", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			server.WriteJSON(w, reg.Stats())
+		}))
+		opsSrv = &http.Server{
+			Addr:              opsAddr,
+			Handler:           opsMux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		log.Info("ops listener up",
+			slog.String("addr", opsAddr),
+			slog.String("endpoints", "/metrics /debug/pprof/ GET /registry POST /v1/{tenant}/reload POST /v1/{tenant}/rollback"))
+	}
+
+	// SIGHUP canary-reloads every resident tenant from its configured
+	// source; non-resident tenants pick up new files on admission.
+	watchHUP(ctx, log, func() error {
+		if err := reg.ReloadResident(); err != nil {
+			return err
+		}
+		log.Info("SIGHUP registry reload complete")
+		return nil
+	})
+
+	log.Info("detectived up (registry mode)",
+		slog.Int("tenants", len(reg.TenantNames())),
+		slog.Int("max_resident", reg.MaxResident()),
+		slog.String("addr", addr))
+
+	serveAndDrain(ctx, log, srv, opsSrv, drainTimeout, nil)
+}
+
+// watchHUP services SIGHUP reload requests for the process lifetime.
+func watchHUP(ctx context.Context, log *slog.Logger, reload func() error) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go reloadLoop(ctx, hup, log, reload)
+}
+
+// serveAndDrain runs both listeners until a fatal serve error or the
+// shutdown signal, then drains: onDrain first (stop advertising
+// readiness), a bounded Shutdown next, a hard Close as last resort.
+func serveAndDrain(ctx context.Context, log *slog.Logger, srv, opsSrv *http.Server, drainTimeout time.Duration, onDrain func()) {
+	errc := make(chan error, 2)
+	go func() { errc <- srv.ListenAndServe() }()
+	if opsSrv != nil {
+		go func() { errc <- opsSrv.ListenAndServe() }()
+	}
+
 	select {
 	case err := <-errc:
 		fail(log, err)
 	case <-ctx.Done():
 	}
 
-	// Drain: stop advertising readiness, give in-flight requests a
-	// deadline, then close both listeners.
-	log.Info("signal received, draining", slog.Duration("drain_timeout", *drainTimeout))
-	s.SetReady(false)
-	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	log.Info("signal received, draining", slog.Duration("drain_timeout", drainTimeout))
+	if onDrain != nil {
+		onDrain()
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Error("forced shutdown", slog.Any("error", err))

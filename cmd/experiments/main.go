@@ -25,11 +25,16 @@ import (
 	"strings"
 	"testing"
 
+	"log/slog"
+
 	"detective/internal/dataset"
 	"detective/internal/eval"
 	"detective/internal/kb"
+	"detective/internal/registry"
 	"detective/internal/relation"
 	"detective/internal/repair"
+	"detective/internal/rules"
+	"detective/internal/telemetry"
 )
 
 func main() {
@@ -362,6 +367,91 @@ func writeRepairBench(path string) error {
 				if _, err := kb.LoadSnapshot(bytes.NewReader(snapSrc)); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})),
+	)
+
+	// DKBS v2 over the same graph: the portable decode of the
+	// page-aligned layout, and the mmap'd in-place load the registry's
+	// tenant cold admissions ride on. KBLoadMmap staying well clear of
+	// the v1 decode (the headline is ≥5×) is gated by benchdiff.
+	var snap2Buf bytes.Buffer
+	if err := loadKB.WriteSnapshotV2(&snap2Buf); err != nil {
+		return err
+	}
+	benchDir, err := os.MkdirTemp("", "detective-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(benchDir)
+	snap2Path := filepath.Join(benchDir, "kb.v2.dkbs")
+	if err := os.WriteFile(snap2Path, snap2Buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	snap2Src := snap2Buf.Bytes()
+	results = append(results,
+		record("KBLoadSnapshotV2", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := kb.LoadSnapshot(bytes.NewReader(snap2Src)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})),
+		record("KBLoadMmap", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := kb.LoadSnapshotFile(snap2Path); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})),
+	)
+
+	// Tenant cold admission, end to end: two tenants thrash a
+	// residency cap of 1, so every resolve is a full cold admission —
+	// mmap the snapshot, build the engine, evict the previous tenant.
+	// This is the registry's worst-case request and the price of
+	// configuring far more tenants than the cap.
+	nobelBench := dataset.NewNobel(1, 4000)
+	rulesPath := filepath.Join(benchDir, "rules.dr")
+	rfile, err := os.Create(rulesPath)
+	if err != nil {
+		return err
+	}
+	if err := rules.EncodeRules(rfile, nobelBench.Rules); err != nil {
+		rfile.Close()
+		return err
+	}
+	if err := rfile.Close(); err != nil {
+		return err
+	}
+	reg, err := registry.New(registry.Config{
+		MaxResident: 1,
+		Defaults: registry.TenantConfig{
+			Snapshot: snap2Path,
+			Rules:    rulesPath,
+			Schema:   nobelBench.Schema.Attrs,
+			Relation: nobelBench.Schema.Name,
+		},
+		Tenants: []registry.TenantConfig{{Name: "a"}, {Name: "b"}},
+	}, registry.Options{
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Metrics: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+	coldNames := [2]string{"a", "b"}
+	results = append(results,
+		record("TenantColdAdmission", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, release, err := reg.Tenant(coldNames[i%2])
+				if err != nil {
+					b.Fatal(err)
+				}
+				release()
 			}
 		})),
 	)

@@ -3,14 +3,24 @@
 //	kbtool -kb kb.nt stats                 # size, taxonomy, largest classes
 //	kbtool -kb kb.nt entity "Avram Hershko"  # types + outgoing/incoming edges
 //	kbtool -kb kb.nt type city -limit 10   # instances of a class
-//	kbtool pack kb.nt kb.snap              # text -> binary snapshot
+//	kbtool pack kb.nt kb.snap              # text -> binary snapshot (DKBS v1)
+//	kbtool pack -v2 kb.nt kb.snap          # text -> mmap-ready DKBS v2
 //	kbtool unpack kb.snap kb.nt            # snapshot -> canonical text
+//	kbtool info kb.snap                    # DKBS section table
 //	kbtool verify kb.snap                  # header + checksums + stats
 //	kbtool verify -deep kb.snap            # + structural integrity pass
+//
+// pack -v2 writes the page-aligned, pointer-free DKBS v2 layout that
+// detectived maps read-only into memory and serves in place (near-zero
+// load time); plain pack keeps the compact varint v1 layout. info
+// prints each section's offset, length, CRC and mmap eligibility.
 //
 // verify separates failure classes by exit code: 3 means the file is
 // corrupt (magic, framing, checksum), 4 means it decodes but the graph
 // is structurally suspect (-deep only: dangling IDs, taxonomy cycles).
+// It always checks every checksum via the portable decode path; for a
+// v2 file on an mmap-capable platform it additionally exercises the
+// mapped load the server would use.
 //
 // pack and unpack are deterministic: the same graph always produces
 // the same bytes (pack sorts every section; unpack emits the
@@ -27,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"text/tabwriter"
 
 	"detective"
 	"detective/internal/kb"
@@ -42,18 +53,20 @@ func main() {
 	// use -kb.
 	switch flag.Arg(0) {
 	case "pack":
-		pack(flag.Arg(1), flag.Arg(2))
+		pack(flag.Args()[1:])
 		return
 	case "unpack":
 		unpack(flag.Arg(1), flag.Arg(2))
 		return
+	case "info":
+		os.Exit(runInfo(flag.Args()[1:], os.Stdout, os.Stderr))
 	case "verify":
 		os.Exit(runVerify(flag.Args()[1:], os.Stdout, os.Stderr))
 	}
 
 	if *kbPath == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: kbtool -kb KB stats | entity NAME | type CLASS\n"+
-			"       kbtool pack KB.nt KB.snap | unpack KB.snap KB.nt | verify KB.snap")
+			"       kbtool pack [-v2] KB.nt KB.snap | unpack KB.snap KB.nt | info KB.snap | verify KB.snap")
 		os.Exit(2)
 	}
 	f, err := os.Open(*kbPath)
@@ -104,22 +117,77 @@ type nopWriteCloser struct{ io.Writer }
 
 func (nopWriteCloser) Close() error { return nil }
 
-// pack converts a text-format KB to the binary snapshot format. The
-// output is deterministic: packing the same input twice produces
-// byte-identical snapshots.
-func pack(in, out string) {
-	if in == "" || out == "" {
-		fail(fmt.Errorf("usage: kbtool pack KB.nt KB.snap"))
+// pack converts a text-format KB to the binary snapshot format: v1
+// (compact varints) by default, -v2 for the page-aligned mmap-ready
+// layout. Both are deterministic: packing the same input twice
+// produces byte-identical snapshots.
+func pack(args []string) {
+	v2 := false
+	var paths []string
+	for _, a := range args {
+		switch {
+		case a == "-v2" || a == "--v2":
+			v2 = true
+		default:
+			paths = append(paths, a)
+		}
 	}
-	r := openIn(in)
+	if len(paths) != 2 {
+		fail(fmt.Errorf("usage: kbtool pack [-v2] KB.nt KB.snap"))
+	}
+	r := openIn(paths[0])
 	g, err := detective.ParseKB(bufio.NewReader(r))
 	r.Close()
 	fail(err)
-	w := createOut(out)
+	w := createOut(paths[1])
 	bw := bufio.NewWriter(w)
-	fail(detective.WriteKBSnapshot(bw, g))
+	if v2 {
+		fail(g.WriteSnapshotV2(bw))
+	} else {
+		fail(detective.WriteKBSnapshot(bw, g))
+	}
 	fail(bw.Flush())
 	fail(w.Close())
+}
+
+// runInfo implements `kbtool info KB.snap`: the DKBS section table —
+// per-section offset, length, CRC-32C, and whether the section is
+// stored raw (mmap-eligible) and page-aligned. It reads only headers
+// and directories, never payloads, so it is instant on any size file.
+func runInfo(args []string, out, errw io.Writer) int {
+	if len(args) != 1 || args[0] == "" || args[0] == "-" {
+		fmt.Fprintln(errw, "usage: kbtool info KB.snap")
+		return 2
+	}
+	info, err := kb.ReadSnapshotInfo(args[0])
+	if err != nil {
+		fmt.Fprintln(errw, "kbtool: unreadable snapshot:", err)
+		return 3
+	}
+	mmap := "no (decode on load)"
+	if info.Mmap {
+		mmap = "yes (mapped in place on supported platforms)"
+	}
+	fmt.Fprintf(out, "DKBS v%d, %d bytes, %d sections, mmap-ready: %s\n",
+		info.Version, info.FileSize, len(info.Sections), mmap)
+	tw := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tSECTION\tOFFSET\tLENGTH\tCRC32C\tSTORAGE")
+	for _, s := range info.Sections {
+		storage := "varint"
+		if s.Raw {
+			storage = "raw"
+			if s.Aligned {
+				storage = "raw, page-aligned"
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%08x\t%s\n",
+			s.ID, s.Name, s.Offset, s.Length, s.CRC, storage)
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintln(errw, "kbtool:", err)
+		return 1
+	}
+	return 0
 }
 
 // unpack converts a binary snapshot back to the canonical text
@@ -176,6 +244,28 @@ func runVerify(args []string, out, errw io.Writer) int {
 	}
 	fmt.Fprintf(out, "ok: %d nodes, %d triples, generation %d\n",
 		g.NumNodes(), g.NumTriples(), g.Generation())
+	// The decode above checked every checksum. For an on-disk v2 file
+	// also exercise the serving path — LoadSnapshotFile maps the file
+	// in place where supported — and cross-check the two loads, so
+	// "verify ok" means ok for the reader detectived actually uses.
+	if in != "-" {
+		if info, ierr := kb.ReadSnapshotInfo(in); ierr == nil && info.Mmap {
+			mg, merr := kb.LoadSnapshotFile(in)
+			switch {
+			case merr != nil:
+				fmt.Fprintln(errw, "kbtool: mmap load failed:", merr)
+				return 3
+			case mg.NumNodes() != g.NumNodes() || mg.NumTriples() != g.NumTriples():
+				fmt.Fprintf(errw, "kbtool: mmap load disagrees with decode: %d/%d nodes, %d/%d triples\n",
+					mg.NumNodes(), g.NumNodes(), mg.NumTriples(), g.NumTriples())
+				return 3
+			case mg.Mapped():
+				fmt.Fprintln(out, "mmap: ok (served in place)")
+			default:
+				fmt.Fprintln(out, "mmap: ok (decode fallback on this platform)")
+			}
+		}
+	}
 	if !deep {
 		return 0
 	}

@@ -113,6 +113,18 @@ func WriteKBSnapshot(w io.Writer, g *KB) error { return g.WriteSnapshot(w) }
 // header and every section checksum.
 func LoadKBSnapshot(r io.Reader) (*KB, error) { return kb.LoadSnapshot(r) }
 
+// WriteKBSnapshotV2 writes g in the page-aligned DKBS v2 layout whose
+// arena sections LoadKBSnapshotFile maps read-only into memory and
+// serves in place — cold loads in microseconds instead of a full
+// decode. Like v1 it is deterministic and checksummed per section.
+func WriteKBSnapshotV2(w io.Writer, g *KB) error { return g.WriteSnapshotV2(w) }
+
+// LoadKBSnapshotFile loads a snapshot by path: DKBS v2 files are
+// mmap'd in place on supported platforms (falling back to a portable
+// decode elsewhere), v1 files are decoded. The returned graph is
+// read-only when it is snapshot-backed.
+func LoadKBSnapshotFile(path string) (*KB, error) { return kb.LoadSnapshotFile(path) }
+
 // KBStore atomically publishes the current KB graph for zero-downtime
 // hot swaps: readers pin a graph per tuple while KBStore.Swap installs
 // a replacement with a bumped generation (see internal/kb.Store).

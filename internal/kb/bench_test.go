@@ -1,0 +1,121 @@
+package kb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// benchGraph is a mid-size synthetic graph for the load benchmarks:
+// entities with types, a small taxonomy, and literal-valued edges, in
+// roughly the shape real KB excerpts take.
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	g := New()
+	g.AddSubclass("scientist", "person")
+	g.AddSubclass("chemist", "scientist")
+	g.AddSubclass("city", "location")
+	classes := []string{"person", "scientist", "chemist"}
+	for i := 0; i < 200; i++ {
+		city := "city-" + itoa(i)
+		g.AddType(city, "city")
+	}
+	for i := 0; i < 4000; i++ {
+		name := "person-" + itoa(i)
+		g.AddType(name, classes[i%len(classes)])
+		g.AddTriple(name, "bornIn", "city-"+itoa(i%200))
+		g.AddTriple(name, "worksIn", "city-"+itoa((i*7)%200))
+		g.AddPropertyTriple(name, "bornOnDate", "19"+itoa(10+i%90)+"-01-02")
+	}
+	return g
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkKBLoadText is the baseline everyone starts from: parsing
+// the canonical text encoding.
+func BenchmarkKBLoadText(b *testing.B) {
+	var buf bytes.Buffer
+	if err := benchGraph(b).Encode(&buf); err != nil {
+		b.Fatal(err)
+	}
+	src := buf.Bytes()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(bytes.NewReader(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKBLoadSnapshot decodes the compact varint DKBS v1 layout.
+func BenchmarkKBLoadSnapshot(b *testing.B) {
+	var buf bytes.Buffer
+	if err := benchGraph(b).WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	src := buf.Bytes()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadSnapshot(bytes.NewReader(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKBLoadSnapshotV2 decodes the page-aligned v2 layout
+// portably — the fallback path for v2 files off-Linux.
+func BenchmarkKBLoadSnapshotV2(b *testing.B) {
+	var buf bytes.Buffer
+	if err := benchGraph(b).WriteSnapshotV2(&buf); err != nil {
+		b.Fatal(err)
+	}
+	src := buf.Bytes()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadSnapshot(bytes.NewReader(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKBLoadMmap is the serving path for on-disk v2 snapshots:
+// map the arenas read-only and validate, no decode, no copies. This
+// is what makes registry tenant cold admissions cheap.
+func BenchmarkKBLoadMmap(b *testing.B) {
+	var buf bytes.Buffer
+	if err := benchGraph(b).WriteSnapshotV2(&buf); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "kb.v2.dkbs")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadSnapshotFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -62,6 +62,15 @@ type Edge struct {
 // needs. It is not safe for concurrent mutation; concurrent reads are
 // safe once loading has finished and Freeze has been called (or after
 // any read has forced the lazy closures).
+//
+// A graph has one of two storage forms. Mutable graphs (built by New,
+// Parse or the v1 snapshot decoder) keep names and assertions in Go
+// maps and accept Add* calls. Snapshot-backed graphs (loaded from a
+// DKBS v2 file, possibly mmap'd in place) keep the same data in
+// pointer-free arenas — nameBlob/nameOffs/nameTab for the name table,
+// idListIndex span tables for the type and taxonomy assertions — and
+// are read-only: every mutator panics. All read accessors pick the
+// live form, so the two storages are indistinguishable to callers.
 type Graph struct {
 	names  []string
 	byName map[string]ID
@@ -71,6 +80,15 @@ type Graph struct {
 	superOf map[ID][]ID // class -> direct superclasses
 	subOf   map[ID][]ID // class -> direct subclasses
 	instOf  map[ID][]ID // class -> direct instances
+
+	// Snapshot-backed forms of the name table and assertion maps
+	// (see snapshot2.go). Valid iff byName == nil.
+	nameBlob                                     string    // concatenated name bytes
+	nameOffs                                     []uint32  // node i's name = nameBlob[nameOffs[i]:nameOffs[i+1]]
+	nameTab                                      nameTable // open-addressing name -> ID index
+	typesIdx, instOfIdx, superOfIdx, subOfIdx    idListIndex
+	nTypeKeys, nInstOfKeys, nSuperKeys, nSubKeys int
+	mapped                                       *mapping // non-nil when the arenas live in an mmap'd file
 
 	out edgeIndex  // subject -> outgoing edges
 	in  edgeIndex  // object -> incoming edges
@@ -107,9 +125,24 @@ func New() *Graph {
 	return g
 }
 
+// mustMutable panics when the graph is snapshot-backed: its arenas may
+// be mmap'd read-only file pages, so in-place mutation is both a
+// correctness and a memory-safety error. Load through the v1 decoder
+// (or rebuild via Encode + Parse) to get a mutable copy.
+func (g *Graph) mustMutable() {
+	if g.byName == nil {
+		panic("kb: graph is read-only (loaded from a DKBS v2 snapshot); re-parse its text encoding to mutate")
+	}
+}
+
+// ReadOnly reports whether the graph is snapshot-backed and therefore
+// rejects mutation.
+func (g *Graph) ReadOnly() bool { return g.byName == nil }
+
 // intern returns the ID for name, creating it with the given kind if
 // absent. If the node exists with KindUnknown, the kind is upgraded.
 func (g *Graph) intern(name string, kind Kind) ID {
+	g.mustMutable()
 	if id, ok := g.byName[name]; ok {
 		if g.kinds[id] == KindUnknown && kind != KindUnknown {
 			g.kinds[id] = kind
@@ -145,21 +178,29 @@ func (g *Graph) InternPred(name string) ID {
 // Lookup returns the ID of name, or Invalid if the graph has never
 // seen it.
 func (g *Graph) Lookup(name string) ID {
-	if id, ok := g.byName[name]; ok {
-		return id
+	if g.byName != nil {
+		if id, ok := g.byName[name]; ok {
+			return id
+		}
+		return Invalid
 	}
-	return Invalid
+	return g.nameTab.lookup(g.nameBlob, g.nameOffs, name)
 }
 
 // Name returns the string form of id. It panics on Invalid.
-func (g *Graph) Name(id ID) string { return g.names[id] }
+func (g *Graph) Name(id ID) string {
+	if g.names != nil {
+		return g.names[id]
+	}
+	return g.nameBlob[g.nameOffs[id]:g.nameOffs[id+1]]
+}
 
 // KindOf reports the kind of id.
 func (g *Graph) KindOf(id ID) Kind { return g.kinds[id] }
 
 // NumNodes returns the number of interned nodes (including predicates
 // and the reserved literal class).
-func (g *Graph) NumNodes() int { return len(g.names) }
+func (g *Graph) NumNodes() int { return len(g.kinds) }
 
 // NumTriples returns the number of relationship/property triples added
 // (type and subclass assertions are not counted).
@@ -212,6 +253,7 @@ func (g *Graph) AddPropertyTriple(s, p, o string) {
 // AddTripleID records the triple (s, p, o) over already-interned IDs.
 // Duplicate triples are ignored.
 func (g *Graph) AddTripleID(s, p, o ID) {
+	g.mustMutable()
 	key := pairKey(s, p)
 	for _, ex := range g.sp.get(key) {
 		if ex == o {
@@ -234,6 +276,7 @@ func (g *Graph) AddType(inst, cls string) {
 
 // AddTypeID asserts type membership over interned IDs.
 func (g *Graph) AddTypeID(inst, cls ID) {
+	g.mustMutable()
 	for _, c := range g.types[inst] {
 		if c == cls {
 			return
@@ -252,6 +295,7 @@ func (g *Graph) AddSubclass(sub, super string) {
 
 // AddSubclassID asserts the subclass edge over interned IDs.
 func (g *Graph) AddSubclassID(sub, super ID) {
+	g.mustMutable()
 	for _, s := range g.superOf[sub] {
 		if s == super {
 			return
@@ -291,7 +335,102 @@ func (g *Graph) In(o ID) []Edge { return g.in.view(o) }
 
 // DirectTypes returns the directly asserted classes of inst (shared
 // slice).
-func (g *Graph) DirectTypes(inst ID) []ID { return g.types[inst] }
+func (g *Graph) DirectTypes(inst ID) []ID { return g.directTypes(inst) }
+
+// The direct* accessors bridge the two storage forms: Go maps on
+// mutable graphs, span-table views on snapshot-backed ones.
+
+func (g *Graph) directTypes(inst ID) []ID {
+	if g.byName != nil {
+		return g.types[inst]
+	}
+	return g.typesIdx.view(inst)
+}
+
+func (g *Graph) directInstances(cls ID) []ID {
+	if g.byName != nil {
+		return g.instOf[cls]
+	}
+	return g.instOfIdx.view(cls)
+}
+
+func (g *Graph) directSupers(cls ID) []ID {
+	if g.byName != nil {
+		return g.superOf[cls]
+	}
+	return g.superOfIdx.view(cls)
+}
+
+func (g *Graph) directSubs(cls ID) []ID {
+	if g.byName != nil {
+		return g.subOf[cls]
+	}
+	return g.subOfIdx.view(cls)
+}
+
+// numTypeKeys etc. report how many keys carry at least one assertion —
+// the map lengths of the mutable form, needed for exact presizing by
+// the closures and the snapshot writers.
+
+func (g *Graph) numTypeKeys() int {
+	if g.byName != nil {
+		return len(g.types)
+	}
+	return g.nTypeKeys
+}
+
+func (g *Graph) numInstOfKeys() int {
+	if g.byName != nil {
+		return len(g.instOf)
+	}
+	return g.nInstOfKeys
+}
+
+func (g *Graph) numSuperKeys() int {
+	if g.byName != nil {
+		return len(g.superOf)
+	}
+	return g.nSuperKeys
+}
+
+func (g *Graph) numSubKeys() int {
+	if g.byName != nil {
+		return len(g.subOf)
+	}
+	return g.nSubKeys
+}
+
+// forEachTyped calls fn once per instance with at least one directly
+// asserted class, in unspecified order.
+func (g *Graph) forEachTyped(fn func(inst ID, classes []ID)) {
+	if g.byName != nil {
+		for inst, classes := range g.types {
+			fn(inst, classes)
+		}
+		return
+	}
+	for i := range g.typesIdx.spans {
+		if vs := g.typesIdx.view(ID(i)); len(vs) > 0 {
+			fn(ID(i), vs)
+		}
+	}
+}
+
+// forEachSubclassed calls fn once per class with at least one direct
+// superclass, in unspecified order.
+func (g *Graph) forEachSubclassed(fn func(sub ID, supers []ID)) {
+	if g.byName != nil {
+		for sub, supers := range g.superOf {
+			fn(sub, supers)
+		}
+		return
+	}
+	for i := range g.superOfIdx.spans {
+		if vs := g.superOfIdx.view(ID(i)); len(vs) > 0 {
+			fn(ID(i), vs)
+		}
+	}
+}
 
 // Freeze forces recomputation of the lazy closures. Calling it after
 // bulk loading makes subsequent reads safe for concurrent use.
@@ -301,11 +440,11 @@ func (g *Graph) ensureClosures() {
 	if !g.closureDirty && g.instClosure != nil {
 		return
 	}
-	g.instClosure = make(map[ID][]ID, len(g.instOf))
-	g.typeClosure = make(map[ID]map[ID]bool, len(g.types))
+	g.instClosure = make(map[ID][]ID, g.numInstOfKeys())
+	g.typeClosure = make(map[ID]map[ID]bool, g.numTypeKeys())
 
 	// For every instance, walk its direct types up the taxonomy.
-	for inst, direct := range g.types {
+	g.forEachTyped(func(inst ID, direct []ID) {
 		all := make(map[ID]bool, len(direct)*2)
 		var stack []ID
 		stack = append(stack, direct...)
@@ -316,13 +455,13 @@ func (g *Graph) ensureClosures() {
 				continue
 			}
 			all[c] = true
-			stack = append(stack, g.superOf[c]...)
+			stack = append(stack, g.directSupers(c)...)
 		}
 		g.typeClosure[inst] = all
 		for c := range all {
 			g.instClosure[c] = append(g.instClosure[c], inst)
 		}
-	}
+	})
 	for c := range g.instClosure {
 		s := g.instClosure[c]
 		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
@@ -384,17 +523,17 @@ func (g *Graph) TypesOf(inst ID) []ID {
 }
 
 // Subclasses returns the direct subclasses of cls (shared slice).
-func (g *Graph) Subclasses(cls ID) []ID { return g.subOf[cls] }
+func (g *Graph) Subclasses(cls ID) []ID { return g.directSubs(cls) }
 
 // Superclasses returns the direct superclasses of cls (shared slice).
-func (g *Graph) Superclasses(cls ID) []ID { return g.superOf[cls] }
+func (g *Graph) Superclasses(cls ID) []ID { return g.directSupers(cls) }
 
 // TaxonomyDepth returns the length of the longest superclass chain
 // starting at cls (0 for a root class). It is used only for KB
 // statistics and must be called on an acyclic taxonomy.
 func (g *Graph) TaxonomyDepth(cls ID) int {
 	best := 0
-	for _, s := range g.superOf[cls] {
+	for _, s := range g.directSupers(cls) {
 		if d := g.TaxonomyDepth(s) + 1; d > best {
 			best = d
 		}

@@ -142,22 +142,22 @@ func (g *Graph) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 
 	var lines []string
-	for sub, supers := range g.superOf {
+	g.forEachSubclassed(func(sub ID, supers []ID) {
 		for _, super := range supers {
 			lines = append(lines, fmt.Sprintf("<%s> <%s> <%s> .", g.Name(sub), PredSubClassOf, g.Name(super)))
 		}
-	}
+	})
 	sort.Strings(lines)
 	for _, l := range lines {
 		fmt.Fprintln(bw, l)
 	}
 
 	lines = lines[:0]
-	for inst, classes := range g.types {
+	g.forEachTyped(func(inst ID, classes []ID) {
 		for _, c := range classes {
 			lines = append(lines, fmt.Sprintf("<%s> <%s> <%s> .", g.Name(inst), PredType, g.Name(c)))
 		}
-	}
+	})
 	sort.Strings(lines)
 	for _, l := range lines {
 		fmt.Fprintln(bw, l)

@@ -96,9 +96,10 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 
+	numNodes := g.NumNodes()
 	nameBytes := 0
-	for _, n := range g.names {
-		nameBytes += len(n)
+	for i := 0; i < numNodes; i++ {
+		nameBytes += len(g.Name(ID(i)))
 	}
 	lenOut, lenIn := 0, 0
 	for _, s := range g.out.spans {
@@ -113,11 +114,11 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 	}
 	counts := make([]byte, 0, 16*binary.MaxVarintLen64)
 	for _, v := range []uint64{
-		uint64(len(g.names)), uint64(g.literalClass), uint64(g.tripleCount),
+		uint64(numNodes), uint64(g.literalClass), uint64(g.tripleCount),
 		uint64(g.gen), uint64(lenOut), uint64(lenIn),
 		uint64(g.sp.len()), uint64(g.po.len()), uint64(len(g.preds)),
-		uint64(len(g.types)), uint64(len(g.instOf)),
-		uint64(len(g.superOf)), uint64(len(g.subOf)), uint64(nameBytes),
+		uint64(g.numTypeKeys()), uint64(g.numInstOfKeys()),
+		uint64(g.numSuperKeys()), uint64(g.numSubKeys()), uint64(nameBytes),
 	} {
 		counts = binary.AppendUvarint(counts, v)
 	}
@@ -125,16 +126,16 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 
-	lens := make([]byte, 0, len(g.names)*2)
-	for _, n := range g.names {
-		lens = binary.AppendUvarint(lens, uint64(len(n)))
+	lens := make([]byte, 0, numNodes*2)
+	for i := 0; i < numNodes; i++ {
+		lens = binary.AppendUvarint(lens, uint64(len(g.Name(ID(i)))))
 	}
 	if err := writeSection(bw, secNameLens, lens); err != nil {
 		return err
 	}
 	blob := make([]byte, 0, nameBytes)
-	for _, n := range g.names {
-		blob = append(blob, n...)
+	for i := 0; i < numNodes; i++ {
+		blob = append(blob, g.Name(ID(i))...)
 	}
 	if err := writeSection(bw, secNameBytes, blob); err != nil {
 		return err
@@ -163,10 +164,10 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 
-	if err := writeSection(bw, secTypes, encodeIDListMap(g.types)); err != nil {
+	if err := writeSection(bw, secTypes, encodeIDListMap(g.numTypeKeys(), g.forEachTyped)); err != nil {
 		return err
 	}
-	if err := writeSection(bw, secSubclass, encodeIDListMap(g.superOf)); err != nil {
+	if err := writeSection(bw, secSubclass, encodeIDListMap(g.numSuperKeys(), g.forEachSubclassed)); err != nil {
 		return err
 	}
 
@@ -212,31 +213,30 @@ func encodeEdgeIndex(x *edgeIndex, numKeys, tripleCount int) []byte {
 	return b
 }
 
-// encodeIDListMap serializes an ID -> sorted []ID map in ascending key
-// order (the shared shape of the types and subclass sections).
-func encodeIDListMap(m map[ID][]ID) []byte {
-	keys := sortedKeys(m)
-	b := binary.AppendUvarint(nil, uint64(len(keys)))
+// encodeIDListMap serializes an ID -> sorted []ID association in
+// ascending key order (the shared shape of the types and subclass
+// sections). forEach supplies the entries in any order — both storage
+// forms provide one (forEachTyped, forEachSubclassed).
+func encodeIDListMap(numKeys int, forEach func(func(ID, []ID))) []byte {
+	type entry struct {
+		k    ID
+		vals []ID
+	}
+	items := make([]entry, 0, numKeys)
+	forEach(func(k ID, vals []ID) { items = append(items, entry{k, vals}) })
+	sort.Slice(items, func(i, j int) bool { return items[i].k < items[j].k })
+	b := binary.AppendUvarint(nil, uint64(len(items)))
 	var vals []ID
-	for _, k := range keys {
-		vals = append(vals[:0], m[k]...)
+	for _, it := range items {
+		vals = append(vals[:0], it.vals...)
 		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
-		b = binary.AppendUvarint(b, uint64(k))
+		b = binary.AppendUvarint(b, uint64(it.k))
 		b = binary.AppendUvarint(b, uint64(len(vals)))
 		for _, v := range vals {
 			b = binary.AppendUvarint(b, uint64(v))
 		}
 	}
 	return b
-}
-
-func sortedKeys[V any](m map[ID]V) []ID {
-	out := make([]ID, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 func writeSection(bw *bufio.Writer, id byte, payload []byte) error {
@@ -275,8 +275,14 @@ func LoadSnapshot(r io.Reader) (*Graph, error) {
 	if len(data) < len(snapshotMagic)+4 || string(data[:4]) != snapshotMagic {
 		return nil, fmt.Errorf("kb: bad snapshot magic (not a KB snapshot)")
 	}
-	if v := binary.LittleEndian.Uint16(data[4:6]); v != SnapshotVersion {
-		return nil, fmt.Errorf("kb: unsupported snapshot version %d (this build reads version %d)", v, SnapshotVersion)
+	switch v := binary.LittleEndian.Uint16(data[4:6]); v {
+	case SnapshotVersion:
+	case SnapshotVersion2:
+		// v2 files decode portably from any reader; the mmap read path
+		// needs a file and goes through LoadSnapshotFile instead.
+		return decodeSnapshotV2(data)
+	default:
+		return nil, fmt.Errorf("kb: unsupported snapshot version %d (this build reads versions %d and %d)", v, SnapshotVersion, SnapshotVersion2)
 	}
 
 	secs := make(map[byte][]byte, 8)

@@ -52,9 +52,9 @@ func (g *Graph) ComputeStats(topN int) Stats {
 			}
 		}
 	}
-	for _, classes := range g.types {
+	g.forEachTyped(func(_ ID, classes []ID) {
 		s.TypeAssertions += len(classes)
-	}
+	})
 	subjects := 0
 	for _, sp := range g.out.spans {
 		if sp.n > 0 {
@@ -71,7 +71,7 @@ func (g *Graph) ComputeStats(topN int) Stats {
 		}
 	}
 	for _, c := range classes {
-		s.SubclassAssertions += len(g.superOf[c])
+		s.SubclassAssertions += len(g.directSupers(c))
 		if d := g.TaxonomyDepth(c); d > s.MaxTaxonomyDepth {
 			s.MaxTaxonomyDepth = d
 		}

@@ -1,0 +1,61 @@
+package registry_test
+
+import (
+	"io"
+	"log/slog"
+	"testing"
+
+	"detective/internal/registry"
+	"detective/internal/telemetry"
+)
+
+// BenchmarkTenantColdAdmission measures the registry's worst-case
+// request: resolving a non-resident tenant. Two tenants thrash a
+// residency cap of 1, so every resolve mmaps the snapshot, builds the
+// rule catalog and engine, and evicts the previous tenant.
+func BenchmarkTenantColdAdmission(b *testing.B) {
+	cfg := fleetConfig(b, 2, 1)
+	r, err := registry.New(cfg, registry.Options{
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Metrics: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := [2]string{"tenant-00", "tenant-01"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, release, err := r.Tenant(names[i%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		release()
+	}
+}
+
+// BenchmarkTenantResidentResolve is the hot path: the tenant is
+// already resident, so a resolve is a map lookup, an LRU touch and a
+// pin — the per-request overhead multi-tenancy adds.
+func BenchmarkTenantResidentResolve(b *testing.B) {
+	cfg := fleetConfig(b, 2, 2)
+	r, err := registry.New(cfg, registry.Options{
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Metrics: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Warm(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, release, err := r.Tenant("tenant-00")
+		if err != nil {
+			b.Fatal(err)
+		}
+		release()
+	}
+}

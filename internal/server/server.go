@@ -145,6 +145,13 @@ type Config struct {
 	// Breaker configures the engine's repair circuit breaker
 	// (repair.BreakerOptions); the zero value leaves it disabled.
 	Breaker repair.BreakerOptions
+	// MetricLabels is attached to every KB-lifecycle and cache series
+	// this server registers (reload/rollback/canary counters, load
+	// gauge, generation, catalog caches). Multi-tenant deployments set
+	// {tenant="..."} so each tenant's server owns its own series in the
+	// shared registry; single-tenant servers leave it nil and keep the
+	// historical unlabeled names.
+	MetricLabels []telemetry.Label
 }
 
 func (c Config) withDefaults() Config {
@@ -276,28 +283,29 @@ func NewWithStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, cfg
 	}
 
 	reg := cfg.Metrics
+	labels := cfg.MetricLabels
 	s.shedTotal = reg.Counter("detective_http_shed_total",
-		"Cleaning requests shed with 429 because the concurrency limit was reached.")
+		"Cleaning requests shed with 429 because the concurrency limit was reached.", labels...)
 	s.tooLargeTotal = reg.Counter("detective_http_body_too_large_total",
-		"Requests rejected with 413 because the body exceeded the limit.")
+		"Requests rejected with 413 because the body exceeded the limit.", labels...)
 	s.timeoutTotal = reg.Counter("detective_http_timeout_total",
-		"Requests whose per-request deadline expired.")
+		"Requests whose per-request deadline expired.", labels...)
 	s.reloadTotal = reg.Counter("detective_kb_reload_total",
-		"Knowledge-base hot-swaps completed (ReloadKB / POST /reload / SIGHUP).")
+		"Knowledge-base hot-swaps completed (ReloadKB / POST /reload / SIGHUP).", labels...)
 	s.loadSeconds = reg.Gauge("detective_kb_load_seconds",
-		"Wall-clock seconds the most recent KB load (parse or snapshot decode) took.")
+		"Wall-clock seconds the most recent KB load (parse or snapshot decode) took.", labels...)
 	s.canaryStagedTotal = reg.Counter("detective_kb_canary_staged_total",
-		"Candidate graphs considered by the staged (canary) reload.")
+		"Candidate graphs considered by the staged (canary) reload.", labels...)
 	s.canaryRejectedTotal = reg.Counter("detective_kb_canary_rejected_total",
-		"Candidate graphs rejected before promotion (integrity self-check or shadow-replay gate).")
+		"Candidate graphs rejected before promotion (integrity self-check or shadow-replay gate).", labels...)
 	s.canaryRollbackTotal = reg.Counter("detective_kb_canary_rollback_total",
-		"Automatic rollbacks initiated by the post-promote canary watchdog.")
+		"Automatic rollbacks initiated by the post-promote canary watchdog.", labels...)
 	s.rollbackTotal = reg.Counter("detective_kb_rollback_total",
-		"Rollbacks to a retained knowledge-base generation (manual and automatic).")
+		"Rollbacks to a retained knowledge-base generation (manual and automatic).", labels...)
 	reg.GaugeFunc("detective_kb_generation",
 		"Generation of the currently served knowledge-base graph.",
-		func() float64 { return float64(store.Generation()) })
-	registerCacheMetrics(reg, e.Cat)
+		func() float64 { return float64(store.Generation()) }, labels...)
+	registerCacheMetrics(reg, e.Cat, labels)
 
 	httpm := telemetry.NewHTTPMetrics(reg, "detective")
 	httpm.SetLogger(s.log)
@@ -335,29 +343,34 @@ func NewWithStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, cfg
 // (rules.Catalog.CacheStats) and the per-class signature indexes
 // behind it (rules.Catalog.IndexStats). Func collectors replace on
 // re-registration, so the newest server's catalog wins the series.
-func registerCacheMetrics(reg *telemetry.Registry, cat *rules.Catalog) {
+func registerCacheMetrics(reg *telemetry.Registry, cat *rules.Catalog, labels []telemetry.Label) {
 	reg.CounterFunc("detective_catalog_cache_hits_total",
 		"Candidate-cache lookups answered from the cache.",
-		func() float64 { h, _, _ := cat.CacheStats(); return float64(h) })
+		func() float64 { h, _, _ := cat.CacheStats(); return float64(h) }, labels...)
 	reg.CounterFunc("detective_catalog_cache_misses_total",
 		"Candidate-cache lookups that fell through to the signature indexes.",
-		func() float64 { _, m, _ := cat.CacheStats(); return float64(m) })
+		func() float64 { _, m, _ := cat.CacheStats(); return float64(m) }, labels...)
 	reg.GaugeFunc("detective_catalog_cache_size",
 		"Candidate lists currently cached.",
-		func() float64 { _, _, n := cat.CacheStats(); return float64(n) })
+		func() float64 { _, _, n := cat.CacheStats(); return float64(n) }, labels...)
 	reg.CounterFunc("detective_similarity_index_hits_total",
 		"Signature-index lookups that found at least one candidate.",
-		func() float64 { h, _, _ := cat.IndexStats(); return float64(h) })
+		func() float64 { h, _, _ := cat.IndexStats(); return float64(h) }, labels...)
 	reg.CounterFunc("detective_similarity_index_misses_total",
 		"Signature-index lookups that found no candidate.",
-		func() float64 { _, m, _ := cat.IndexStats(); return float64(m) })
+		func() float64 { _, m, _ := cat.IndexStats(); return float64(m) }, labels...)
 	reg.GaugeFunc("detective_similarity_index_size",
 		"Instance names indexed across all per-class signature indexes.",
-		func() float64 { _, _, n := cat.IndexStats(); return float64(n) })
+		func() float64 { _, _, n := cat.IndexStats(); return float64(n) }, labels...)
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. The writer wrapper converts the
+// mux's built-in plain-text 404/405 responses (unknown routes, wrong
+// methods) into the server's JSON error envelope, so every error the
+// process emits has the same machine-readable shape.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
+}
 
 // SetReady flips the /readyz answer. A draining process (SIGTERM
 // received, connections still completing) sets it to false so load
