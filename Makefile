@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet fmt-check test cover race fault chaos bench bench-smoke benchdiff snapshot-check metrics-check experiments examples clean
+.PHONY: all build vet fmt-check test cover race fault chaos bench bench-smoke benchdiff snapshot-check metrics-check experiments examples e2e clean
 
 all: build vet fmt-check test
 
@@ -94,6 +94,13 @@ examples:
 	go run ./examples/pathrule
 	go run ./examples/nobel
 	go run ./examples/webtables
+
+# Daemon end-to-end suite: boots detectived in single-tenant and
+# registry mode against the checked-in sample KB and drives the HTTP
+# surfaces (including ensemble requests and confidence trailers) with
+# curl. The CI e2e job runs exactly this.
+e2e:
+	./scripts/e2e.sh
 
 clean:
 	rm -rf results test_output.txt bench_output.txt coverage.out

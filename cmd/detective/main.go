@@ -30,6 +30,9 @@ import (
 	"strings"
 
 	"detective"
+	"detective/internal/repair"
+	"detective/internal/repair/ensemble"
+	"detective/internal/repair/ensemble/adapters"
 )
 
 func main() {
@@ -49,6 +52,9 @@ func main() {
 	chunk := flag.Int("chunk", 0, "rows per pipeline chunk with -stream -workers > 1 (0 = default)")
 	memoBytes := flag.Int64("memo-bytes", 0, "byte budget of the repair memo serving repeated rows and hot values from cache (0 = default 64 MiB, negative = off)")
 	noMemo := flag.Bool("no-memo", false, "disable the repair memo")
+	ensembleOn := flag.Bool("ensemble", false, "with -stream: repair by the weighted vote of all engines (detective, KATARA, FD, constant CFD) and append a confidence column")
+	ensembleRef := flag.String("ensemble-ref", "", "with -ensemble: clean reference CSV the FD and constant-CFD proposers are mined from")
+	ensembleThreshold := flag.Float64("ensemble-threshold", 0, "with -ensemble: acceptance threshold on a cell's winning confidence (0 = default)")
 	flag.Parse()
 
 	if *kbPath == "" || *rulesPath == "" || *inPath == "" {
@@ -58,6 +64,11 @@ func main() {
 
 	g := parseKB(*kbPath)
 	rs := parseRules(*rulesPath)
+
+	if *ensembleOn && !*stream {
+		fmt.Fprintln(os.Stderr, "detective: -ensemble requires -stream")
+		os.Exit(2)
+	}
 
 	if *stream {
 		for _, f := range []struct {
@@ -70,7 +81,8 @@ func main() {
 			}
 		}
 		streamClean(g, rs, *name, *inPath, *outPath, *marked, *workers, *chunk,
-			detective.EngineOptions{MemoBytes: *memoBytes, MemoDisabled: *noMemo})
+			detective.EngineOptions{MemoBytes: *memoBytes, MemoDisabled: *noMemo},
+			*ensembleOn, *ensembleRef, *ensembleThreshold)
 		return
 	}
 
@@ -160,7 +172,7 @@ func main() {
 // only the header is pre-read (to build the schema), so memory stays
 // bounded by the pipeline's O(workers×chunk) window regardless of the
 // input size.
-func streamClean(g *detective.KB, rs []*detective.Rule, name, inPath, outPath string, marked bool, workers, chunk int, opts detective.EngineOptions) {
+func streamClean(g *detective.KB, rs []*detective.Rule, name, inPath, outPath string, marked bool, workers, chunk int, opts detective.EngineOptions, ensOn bool, ensRef string, ensThreshold float64) {
 	f, err := os.Open(inPath)
 	fail(err)
 	defer f.Close()
@@ -181,7 +193,26 @@ func streamClean(g *detective.KB, rs []*detective.Rule, name, inPath, outPath st
 
 	opts.Workers = workers
 	opts.ChunkSize = chunk
-	c, err := detective.NewCleanerWithOptions(rs, g, schema, opts)
+	var c *detective.Cleaner
+	if ensOn {
+		// The auxiliary proposers read the KB through the same store
+		// the cleaner serves from; the KATARA proposer's table pattern
+		// is derived from the rule set itself.
+		store := detective.NewKBStore(g)
+		var ref *detective.Table
+		if ensRef != "" {
+			ref, err = adapters.LoadReference(schema, ensRef)
+			fail(err)
+		}
+		opts.Ensemble = repair.EnsembleOptions{
+			Enabled:   true,
+			Threshold: ensThreshold,
+			Proposers: adapters.BuildProposers(schema, ensemble.PatternFromRules(rs), store, ref),
+		}
+		c, err = detective.NewCleanerStore(rs, store, schema, opts)
+	} else {
+		c, err = detective.NewCleanerWithOptions(rs, g, schema, opts)
+	}
 	fail(err)
 
 	out := os.Stdout
@@ -193,10 +224,24 @@ func streamClean(g *detective.KB, rs []*detective.Rule, name, inPath, outPath st
 	}
 
 	in := io.MultiReader(strings.NewReader(header+"\n"), br)
-	res, err := c.CleanCSVStream(context.Background(), in, out, marked)
+	var res detective.StreamStats
+	if ensOn {
+		res, err = c.CleanCSVStreamEnsemble(context.Background(), in, out, marked)
+	} else {
+		res, err = c.CleanCSVStream(context.Background(), in, out, marked)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "detective: partial result, %d rows written: %v\n", res.Rows, err)
 		os.Exit(1)
+	}
+	if ensOn {
+		mean := 1.0
+		if res.Rows > 0 {
+			mean = res.ConfidenceSum / float64(res.Rows)
+		}
+		fmt.Fprintf(os.Stderr, "detective: %d rows streamed (%d quarantined, %d budget-degraded, %d deduped; confidence mean %.3f min %.3f, %d below threshold)\n",
+			res.Rows, res.Quarantined, res.BudgetExhausted, res.Deduped, mean, res.MinConfidence, res.BelowThreshold)
+		return
 	}
 	fmt.Fprintf(os.Stderr, "detective: %d rows streamed (%d quarantined, %d budget-degraded, %d deduped)\n",
 		res.Rows, res.Quarantined, res.BudgetExhausted, res.Deduped)

@@ -53,6 +53,8 @@ import (
 	"detective"
 	"detective/internal/registry"
 	"detective/internal/repair"
+	"detective/internal/repair/ensemble"
+	"detective/internal/repair/ensemble/adapters"
 	"detective/internal/server"
 	"detective/internal/telemetry"
 )
@@ -83,6 +85,9 @@ func main() {
 	canaryWatch := flag.Duration("canary-watch", 0, "post-promote watch window: auto-rollback if the new generation's bad-row rate regresses (0 = disabled)")
 	breakerOn := flag.Bool("breaker", false, "enable the repair circuit breaker (degrade to detect-only under quarantine/budget storms)")
 	breakerPerRule := flag.Bool("breaker-per-rule", false, "with -breaker, also track and degrade individual rules")
+	ensembleOn := flag.Bool("ensemble", false, "enable ensemble repair: POST /clean?ensemble=1 repairs by the weighted vote of all engines and returns a confidence column (registry mode: per-tenant default)")
+	ensembleRef := flag.String("ensemble-ref", "", "with -ensemble: clean reference CSV the FD and constant-CFD proposers are mined from")
+	ensembleThreshold := flag.Float64("ensemble-threshold", 0, "with -ensemble: acceptance threshold on a cell's winning confidence (0 = default)")
 	flag.Parse()
 
 	var level slog.Level
@@ -114,7 +119,8 @@ func main() {
 	}
 
 	if *registryPath != "" {
-		runRegistry(log, *registryPath, *warmSpec, *addr, *opsAddr, *drainTimeout, baseCfg)
+		runRegistry(log, *registryPath, *warmSpec, *addr, *opsAddr, *drainTimeout, baseCfg,
+			*ensembleOn, *ensembleRef, *ensembleThreshold)
 		return
 	}
 
@@ -158,7 +164,22 @@ func main() {
 	}
 	schema := detective.NewSchema(*name, attrs...)
 
-	s, err := server.NewWithConfig(rs, g, schema, baseCfg)
+	// The server and the ensemble's auxiliary proposers share one KB
+	// store, so hot reloads reach the proposers automatically.
+	store := detective.NewKBStore(g)
+	if *ensembleOn {
+		var ref *detective.Table
+		if *ensembleRef != "" {
+			ref, err = adapters.LoadReference(schema, *ensembleRef)
+			fail(log, err)
+		}
+		baseCfg.Ensemble = repair.EnsembleOptions{
+			Enabled:   true,
+			Threshold: *ensembleThreshold,
+			Proposers: adapters.BuildProposers(schema, ensemble.PatternFromRules(rs), store, ref),
+		}
+	}
+	s, err := server.NewWithStore(rs, store, schema, baseCfg)
 	fail(log, err)
 
 	srv := &http.Server{
@@ -224,9 +245,20 @@ func main() {
 // runRegistry is registry mode: a fleet of named tenants served under
 // /v1/{tenant}/..., LRU-resident up to the config's cap, with tenant
 // lifecycle and fleet status on the ops listener.
-func runRegistry(log *slog.Logger, cfgPath, warmSpec, addr, opsAddr string, drainTimeout time.Duration, baseCfg server.Config) {
+func runRegistry(log *slog.Logger, cfgPath, warmSpec, addr, opsAddr string, drainTimeout time.Duration, baseCfg server.Config, ensembleOn bool, ensembleRef string, ensembleThreshold float64) {
 	cfg, err := registry.LoadConfig(cfgPath)
 	fail(log, err)
+	// The -ensemble flags become fleet-wide defaults that individual
+	// tenant configs may still override.
+	if ensembleOn {
+		cfg.Defaults.Ensemble = true
+	}
+	if ensembleRef != "" && cfg.Defaults.EnsembleRef == "" {
+		cfg.Defaults.EnsembleRef = ensembleRef
+	}
+	if ensembleThreshold != 0 && cfg.Defaults.EnsembleThreshold == 0 {
+		cfg.Defaults.EnsembleThreshold = ensembleThreshold
+	}
 	reg, err := registry.New(*cfg, registry.Options{Logger: log, Server: baseCfg})
 	fail(log, err)
 

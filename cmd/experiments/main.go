@@ -33,12 +33,13 @@ import (
 	"detective/internal/registry"
 	"detective/internal/relation"
 	"detective/internal/repair"
+	"detective/internal/repair/ensemble/adapters"
 	"detective/internal/rules"
 	"detective/internal/telemetry"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig6, fig7, fig8a, fig8b, fig8c, fig8d, ext, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig6, fig7, fig8a, fig8b, fig8c, fig8d, ext, ensemble, all")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's dataset sizes (slow)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	uis := flag.Int("uis-tuples", 0, "override UIS tuple count for quality experiments")
@@ -154,6 +155,14 @@ func main() {
 		writeCSV("fig8d.csv", func(w *os.File) error { return eval.TimeCurvesCSV(w, curves) })
 		fmt.Println()
 	}
+	if run("ensemble") {
+		any = true
+		rows, err := eval.EnsembleTable(cfg)
+		fail(err)
+		eval.PrintEnsemble(os.Stdout, rows)
+		writeCSV("ensemble.csv", func(w *os.File) error { return eval.QualityCSV(w, rows) })
+		fmt.Println()
+	}
 	if run("ext") {
 		any = true
 		rows, err := eval.ExtensionPathRule(cfg)
@@ -163,7 +172,7 @@ func main() {
 		fmt.Println()
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; want one of table1, table2, table3, fig6, fig7, fig8a-d, all\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; want one of table1, table2, table3, fig6, fig7, fig8a-d, ext, ensemble, all\n", *exp)
 		os.Exit(2)
 	}
 }
@@ -339,6 +348,56 @@ func writeRepairBench(path string) error {
 			}
 		})))
 	}
+
+	// Ensemble mode: the four-engine weighted vote per tuple
+	// (EnsembleTuple4), and the 8-worker streaming pipeline in
+	// ensemble mode on the same Zipf corpus as CleanCSVStreamZipf8.
+	// The single-engine series above running against an
+	// ensemble-capable build is what pins the ensemble-off hot paths.
+	ensStore := kb.NewStore(nobel.Yago)
+	ee, err := repair.NewEngineStore(nobel.Rules, ensStore, nobel.Schema, repair.Options{
+		MemoDisabled: true,
+		Ensemble: repair.EnsembleOptions{
+			Enabled:   true,
+			Proposers: adapters.BuildProposers(nobel.Schema, nobel.Pattern, ensStore, nobelInj.Truth),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ee.Warm()
+	ensDst := &relation.Tuple{
+		Values: make([]string, len(nobel.Schema.Attrs)),
+		Marked: make([]bool, len(nobel.Schema.Attrs)),
+	}
+	results = append(results, record("EnsembleTuple4", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ee.RepairRowEnsemble(context.Background(), ensDst, nobelInj.Dirty.Tuples[i%nobelInj.Dirty.Len()].Values)
+		}
+	})))
+
+	zStore := kb.NewStore(streamNobel.Yago)
+	ze8, err := repair.NewEngineStore(streamNobel.Rules, zStore, streamNobel.Schema, repair.Options{
+		Workers: 8,
+		Ensemble: repair.EnsembleOptions{
+			Enabled:   true,
+			Proposers: adapters.BuildProposers(streamNobel.Schema, streamNobel.Pattern, zStore, streamInj.Truth),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ze8.Warm()
+	results = append(results, record("CleanCSVStreamEnsemble8", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ze8.CleanCSVStreamEnsembleContext(context.Background(),
+				strings.NewReader(zinput), io.Discard, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
 
 	// KB load formats: the text parser versus the binary snapshot
 	// decoder over the same graph. The snapshot's headline claim (≥5×

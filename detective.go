@@ -184,6 +184,17 @@ func NewCleanerWithOptions(rs []*Rule, g *KB, schema *Schema, opts EngineOptions
 	return &Cleaner{engine: e}, nil
 }
 
+// NewCleanerStore is NewCleanerWithOptions on a caller-owned KBStore,
+// the shape ensemble mode needs: auxiliary proposers built on the
+// same store see every graph the cleaner serves, including hot swaps.
+func NewCleanerStore(rs []*Rule, store *KBStore, schema *Schema, opts EngineOptions) (*Cleaner, error) {
+	e, err := repair.NewEngineStore(rs, store, schema, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Cleaner{engine: e}, nil
+}
+
 // Engine returns the underlying repair engine.
 func (c *Cleaner) Engine() *Engine { return c.engine }
 
@@ -235,6 +246,15 @@ type StreamStats = repair.StreamResult
 // so far has been flushed to w.
 func (c *Cleaner) CleanCSVStream(ctx context.Context, r io.Reader, w io.Writer, marked bool) (StreamStats, error) {
 	return c.engine.CleanCSVStreamContext(ctx, r, w, marked)
+}
+
+// CleanCSVStreamEnsemble is CleanCSVStream in ensemble mode: rows are
+// repaired by the weighted vote over the detective engine and the
+// EngineOptions.Ensemble proposers, and the output CSV carries a
+// trailing "confidence" column. Errors when the cleaner was built
+// without EngineOptions.Ensemble.Enabled.
+func (c *Cleaner) CleanCSVStreamEnsemble(ctx context.Context, r io.Reader, w io.Writer, marked bool) (StreamStats, error) {
+	return c.engine.CleanCSVStreamEnsembleContext(ctx, r, w, marked)
 }
 
 // UsageReport aggregates per-rule application counts over a table.

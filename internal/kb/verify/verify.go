@@ -60,7 +60,12 @@ type Finding struct {
 	Check string `json:"check"`
 	// Node is the primary node involved, kb.Invalid when the finding
 	// is not tied to one node.
-	Node    kb.ID  `json:"node"`
+	Node kb.ID `json:"node"`
+	// Peer is the secondary node of findings that implicate an edge or
+	// a pair (symmetry violations, taxonomy cycles, duplicate labels);
+	// kb.Invalid otherwise. (Node, Peer) is the suspect edge consumed
+	// by SuspectEdges.
+	Peer    kb.ID  `json:"peer"`
 	Message string `json:"message"`
 }
 
@@ -99,6 +104,62 @@ func (r *Report) SuspectNodes() []kb.ID {
 			seen[f.Node] = true
 			out = append(out, f.Node)
 		}
+	}
+	return out
+}
+
+// contentChecks are the passes whose findings implicate KB *content*
+// (as opposed to index structure): their nodes and edges are what the
+// ensemble's dirty-KB loop down-weights. Structural and symmetry
+// errors mean the graph itself is unsound — strict mode rejects it
+// outright, so they carry no per-edge suspicion signal.
+var contentChecks = map[string]bool{
+	"taxonomy-cycle":  true,
+	"degree-outlier":  true,
+	"duplicate-label": true,
+}
+
+// SuspectEdges returns the distinct (Node, Peer) pairs implicated by
+// content-level findings — the per-edge suspicion feed for ensemble
+// down-weighting. Pairs are emitted in finding order; findings with
+// no valid peer contribute nothing here (SuspectNodes still carries
+// them).
+func (r *Report) SuspectEdges() [][2]kb.ID {
+	seen := make(map[[2]kb.ID]bool)
+	var out [][2]kb.ID
+	for _, f := range r.Findings {
+		if !contentChecks[f.Check] || f.Node == kb.Invalid || f.Peer == kb.Invalid {
+			continue
+		}
+		pair := [2]kb.ID{f.Node, f.Peer}
+		if !seen[pair] {
+			seen[pair] = true
+			out = append(out, pair)
+		}
+	}
+	return out
+}
+
+// SuspectNames resolves every node implicated by a content-level
+// finding — both endpoints of suspect edges plus peerless content
+// findings — to its name in g. This is the value-level form the
+// ensemble vote consumes: a KB-backed proposal of one of these names
+// is down-weighted.
+func (r *Report) SuspectNames(g *kb.Graph) []string {
+	seen := make(map[kb.ID]bool)
+	var out []string
+	add := func(id kb.ID) {
+		if id != kb.Invalid && !seen[id] {
+			seen[id] = true
+			out = append(out, g.Name(id))
+		}
+	}
+	for _, f := range r.Findings {
+		if !contentChecks[f.Check] {
+			continue
+		}
+		add(f.Node)
+		add(f.Peer)
 	}
 	return out
 }
@@ -214,31 +275,31 @@ func checkStructure(g *kb.Graph, r *Report, opts Options) {
 		for _, e := range g.Out(s) {
 			totalOut++
 			if e.To < 0 || e.To >= n || e.Pred < 0 || e.Pred >= n {
-				r.add(Finding{Error, "structural", s,
+				r.add(Finding{Error, "structural", s, kb.Invalid,
 					fmt.Sprintf("out edge %d -[%d]-> %d references an ID outside [0,%d)", s, e.Pred, e.To, n)},
 					opts.MaxFindings)
 				continue
 			}
 			if !preds[e.Pred] {
-				r.add(Finding{Error, "structural", e.Pred,
+				r.add(Finding{Error, "structural", e.Pred, s,
 					fmt.Sprintf("edge %s -[%s]-> %s uses unregistered predicate node %d",
 						g.Name(s), g.Name(e.Pred), g.Name(e.To), e.Pred)},
 					opts.MaxFindings)
 			}
 			if !containsID(g.Objects(s, e.Pred), e.To) {
-				r.add(Finding{Error, "symmetry", s,
+				r.add(Finding{Error, "symmetry", s, e.To,
 					fmt.Sprintf("edge %s -[%s]-> %s present in out but missing from sp index",
 						g.Name(s), g.Name(e.Pred), g.Name(e.To))},
 					opts.MaxFindings)
 			}
 			if !containsID(g.Subjects(e.Pred, e.To), s) {
-				r.add(Finding{Error, "symmetry", s,
+				r.add(Finding{Error, "symmetry", s, e.To,
 					fmt.Sprintf("edge %s -[%s]-> %s present in out but missing from po index",
 						g.Name(s), g.Name(e.Pred), g.Name(e.To))},
 					opts.MaxFindings)
 			}
 			if !containsEdge(g.In(e.To), kb.Edge{Pred: e.Pred, To: s}) {
-				r.add(Finding{Error, "symmetry", s,
+				r.add(Finding{Error, "symmetry", s, e.To,
 					fmt.Sprintf("edge %s -[%s]-> %s present in out but missing from in index",
 						g.Name(s), g.Name(e.Pred), g.Name(e.To))},
 					opts.MaxFindings)
@@ -249,13 +310,13 @@ func checkStructure(g *kb.Graph, r *Report, opts Options) {
 		for _, e := range g.In(s) {
 			totalIn++
 			if e.To < 0 || e.To >= n || e.Pred < 0 || e.Pred >= n {
-				r.add(Finding{Error, "structural", s,
+				r.add(Finding{Error, "structural", s, kb.Invalid,
 					fmt.Sprintf("in edge of %d references an ID outside [0,%d)", s, n)},
 					opts.MaxFindings)
 				continue
 			}
 			if !containsEdge(g.Out(e.To), kb.Edge{Pred: e.Pred, To: s}) {
-				r.add(Finding{Error, "symmetry", s,
+				r.add(Finding{Error, "symmetry", s, e.To,
 					fmt.Sprintf("edge %s -[%s]-> %s present in in index but missing from out",
 						g.Name(e.To), g.Name(e.Pred), g.Name(s))},
 					opts.MaxFindings)
@@ -263,12 +324,12 @@ func checkStructure(g *kb.Graph, r *Report, opts Options) {
 		}
 	}
 	if totalOut != g.NumTriples() {
-		r.add(Finding{Error, "structural", kb.Invalid,
+		r.add(Finding{Error, "structural", kb.Invalid, kb.Invalid,
 			fmt.Sprintf("out index holds %d edges but the graph reports %d triples", totalOut, g.NumTriples())},
 			opts.MaxFindings)
 	}
 	if totalIn != totalOut {
-		r.add(Finding{Error, "structural", kb.Invalid,
+		r.add(Finding{Error, "structural", kb.Invalid, kb.Invalid,
 			fmt.Sprintf("in index holds %d edges but out holds %d", totalIn, totalOut)},
 			opts.MaxFindings)
 	}
@@ -322,7 +383,7 @@ func checkTaxonomy(g *kb.Graph, r *Report, opts Options) {
 				f.ei++
 				if w == f.v {
 					// Self-loop: a class that is its own superclass.
-					r.add(Finding{Error, "taxonomy-cycle", f.v,
+					r.add(Finding{Error, "taxonomy-cycle", f.v, f.v,
 						fmt.Sprintf("class %q is its own superclass", g.Name(f.v))},
 						opts.MaxFindings)
 					continue
@@ -364,7 +425,11 @@ func checkTaxonomy(g *kb.Graph, r *Report, opts Options) {
 					for _, c := range comp[:min(len(comp), 5)] {
 						names = append(names, g.Name(c))
 					}
-					r.add(Finding{Error, "taxonomy-cycle", v,
+					peer := comp[0]
+					if peer == v && len(comp) > 1 {
+						peer = comp[1]
+					}
+					r.add(Finding{Error, "taxonomy-cycle", v, peer,
 						fmt.Sprintf("subclass cycle through %d classes: %s", len(comp), strings.Join(names, " -> "))},
 						opts.MaxFindings)
 				}
@@ -413,7 +478,7 @@ func checkDegrees(g *kb.Graph, r *Report, opts Options) {
 	}
 	sort.Slice(hubs, func(i, j int) bool { return hubs[i].d > hubs[j].d })
 	for _, h := range hubs {
-		r.add(Finding{Warn, "degree-outlier", h.id,
+		r.add(Finding{Warn, "degree-outlier", h.id, kb.Invalid,
 			fmt.Sprintf("node %q has degree %d (mean %.1f, threshold %.1f)", g.Name(h.id), h.d, mean, threshold)},
 			opts.MaxFindings)
 	}
@@ -450,7 +515,7 @@ func checkLabels(g *kb.Graph, r *Report, opts Options) {
 		for _, id := range ids[:min(len(ids), 5)] {
 			names = append(names, fmt.Sprintf("%q", g.Name(id)))
 		}
-		r.add(Finding{Warn, "duplicate-label", ids[0],
+		r.add(Finding{Warn, "duplicate-label", ids[0], ids[1],
 			fmt.Sprintf("%d nodes share normalized label %q: %s", len(ids), k, strings.Join(names, ", "))},
 			opts.MaxFindings)
 	}

@@ -37,6 +37,9 @@ import (
 
 	"detective/internal/kb"
 	"detective/internal/relation"
+	"detective/internal/repair"
+	"detective/internal/repair/ensemble"
+	"detective/internal/repair/ensemble/adapters"
 	"detective/internal/rules"
 	"detective/internal/server"
 	"detective/internal/telemetry"
@@ -68,6 +71,20 @@ type TenantConfig struct {
 	StreamWorkers     int    `json:"streamWorkers,omitempty"`
 	VerifyMode        string `json:"verifyMode,omitempty"`
 	RetainGenerations int    `json:"retainGenerations,omitempty"`
+
+	// Ensemble enables the multi-engine repair vote for this tenant:
+	// POST /v1/{name}/clean?ensemble=1 repairs each row by the
+	// weighted vote over the detective engine and auxiliary proposers
+	// built from the tenant's own rules and KB (the KATARA proposer's
+	// table pattern is derived from the rule set), plus FD and
+	// constant-CFD proposers mined from EnsembleRef when set.
+	Ensemble bool `json:"ensemble,omitempty"`
+	// EnsembleRef is an optional clean reference CSV (tenant schema)
+	// the FD and CFD proposers are mined from.
+	EnsembleRef string `json:"ensembleRef,omitempty"`
+	// EnsembleThreshold overrides the vote's acceptance threshold
+	// (0 picks the engine default).
+	EnsembleThreshold float64 `json:"ensembleThreshold,omitempty"`
 }
 
 // Config is the registry configuration, typically one JSON file
@@ -117,6 +134,15 @@ func (tc TenantConfig) merged(d TenantConfig) TenantConfig {
 	}
 	if tc.RetainGenerations == 0 {
 		tc.RetainGenerations = d.RetainGenerations
+	}
+	if !tc.Ensemble {
+		tc.Ensemble = d.Ensemble
+	}
+	if tc.EnsembleRef == "" {
+		tc.EnsembleRef = d.EnsembleRef
+	}
+	if tc.EnsembleThreshold == 0 {
+		tc.EnsembleThreshold = d.EnsembleThreshold
 	}
 	return tc
 }
@@ -431,11 +457,42 @@ func (r *Registry) buildServer(t *tenant) (*server.Server, time.Duration, error)
 	if t.cfg.RetainGenerations != 0 {
 		cfg.RetainGenerations = t.cfg.RetainGenerations
 	}
-	srv, err := server.NewWithConfig(t.rules, g, t.schema, cfg)
+	// The ensemble proposers read the tenant's KB through its store,
+	// so the store is built here and shared with the server (hot
+	// reloads reach the proposers automatically).
+	st := kb.NewStore(g)
+	if t.cfg.Ensemble {
+		ens, err := tenantEnsemble(t, st)
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg.Ensemble = ens
+	}
+	srv, err := server.NewWithStore(t.rules, st, t.schema, cfg)
 	if err != nil {
 		return nil, 0, err
 	}
 	return srv, loadTime, nil
+}
+
+// tenantEnsemble assembles the tenant's ensemble configuration: the
+// auxiliary proposers (KATARA on the tenant's own KB behind st; FD
+// and constant-CFD miners over the reference CSV when configured)
+// and the acceptance threshold.
+func tenantEnsemble(t *tenant, st *kb.Store) (repair.EnsembleOptions, error) {
+	var ref *relation.Table
+	if t.cfg.EnsembleRef != "" {
+		var err error
+		ref, err = adapters.LoadReference(t.schema, t.cfg.EnsembleRef)
+		if err != nil {
+			return repair.EnsembleOptions{}, fmt.Errorf("ensemble reference %s: %w", t.cfg.EnsembleRef, err)
+		}
+	}
+	return repair.EnsembleOptions{
+		Enabled:   true,
+		Threshold: t.cfg.EnsembleThreshold,
+		Proposers: adapters.BuildProposers(t.schema, ensemble.PatternFromRules(t.rules), st, ref),
+	}, nil
 }
 
 // loadGraph reads one tenant's KB from its configured source.

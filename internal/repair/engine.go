@@ -93,6 +93,10 @@ type Engine struct {
 	// recorder samples serving-path input rows for canary shadow
 	// replay; nil unless Options.Recorder was supplied.
 	recorder *RowRecorder
+
+	// ens holds the ensemble mode's proposers, weights, and counters
+	// (see ensemble_engine.go); nil unless Options.Ensemble.Enabled.
+	ens *ensembleState
 }
 
 // check is one memoizable value-level test, identified by its dense
@@ -188,6 +192,13 @@ type Options struct {
 	// set it so shadow replays never pollute the process's serving
 	// metrics.
 	PrivateTelemetry bool
+
+	// Ensemble configures the serving-path ensemble mode (see
+	// ensemble_engine.go): the detective engine plus the configured
+	// auxiliary proposers vote per cell with confidence weights. The
+	// zero value leaves it off; single-engine paths then pay one nil
+	// check and are byte-identical to an engine built without it.
+	Ensemble EnsembleOptions
 }
 
 // NewEngine validates the rules and builds matchers, the rule graph,
@@ -329,6 +340,9 @@ func NewEngineStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, o
 		e.instr.registerBreaker(e)
 	}
 	e.recorder = opts.Recorder
+	if opts.Ensemble.Enabled {
+		e.ens = newEnsembleState(opts.Ensemble, reg)
+	}
 	return e, nil
 }
 
@@ -506,11 +520,11 @@ func (e *Engine) fastRepairOutcome(t *relation.Tuple, alts map[string][]string) 
 	}
 	gen := g.Generation()
 	fp := e.memo.tupleFP(t.Values, t.Marked)
-	if cl, oc, ok := e.memo.getTupleClone(gen, fp, t.Values, t.Marked); ok {
+	if cl, oc, _, ok := e.memo.getTupleClone(gen, fp, t.Values, t.Marked); ok {
 		return cl, oc
 	}
 	cl, oc := e.fastRepairOutcomeOn(g, t, nil)
-	e.memo.putTuple(gen, fp, t.Values, t.Marked, cl, oc, true)
+	e.memo.putTuple(gen, fp, t.Values, t.Marked, cl, oc, 1, true)
 	return cl, oc
 }
 
@@ -567,7 +581,7 @@ func (e *Engine) repairTupleSafe(t *relation.Tuple) (out *relation.Tuple, oc tup
 		gen = g.Generation()
 		fp = memo.tupleFP(t.Values, t.Marked)
 		if !probe {
-			if cl, moc, ok := memo.getTupleClone(gen, fp, t.Values, t.Marked); ok {
+			if cl, moc, _, ok := memo.getTupleClone(gen, fp, t.Values, t.Marked); ok {
 				e.count(moc, nil)
 				return cl, moc
 			}
@@ -582,7 +596,7 @@ func (e *Engine) repairTupleSafe(t *relation.Tuple) (out *relation.Tuple, oc tup
 			e.breakerObserve(st, oc)
 			e.count(oc, nil)
 			if memo != nil {
-				memo.putTuple(gen, fp, t.Values, t.Marked, out, oc, true)
+				memo.putTuple(gen, fp, t.Values, t.Marked, out, oc, 1, true)
 			}
 		}
 	}()
@@ -596,7 +610,7 @@ func (e *Engine) repairTupleSafe(t *relation.Tuple) (out *relation.Tuple, oc tup
 	e.putState(st)
 	e.count(oc, nil)
 	if memo != nil {
-		memo.putTuple(gen, fp, t.Values, t.Marked, out, oc, true)
+		memo.putTuple(gen, fp, t.Values, t.Marked, out, oc, 1, true)
 	}
 	return out, oc
 }

@@ -1,0 +1,300 @@
+// Package adapters bridges the repo's auxiliary repair engines
+// (KATARA, Llunatic FD chase, constant CFDs) to the ensemble.Proposer
+// interface. It lives below the vote package so internal/repair can
+// import ensemble without pulling in the engines (katara's pattern
+// discovery imports rulegen, which imports repair — a cycle).
+package adapters
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+
+	"detective/internal/cfd"
+	"detective/internal/katara"
+	"detective/internal/kb"
+	"detective/internal/llunatic"
+	"detective/internal/relation"
+	"detective/internal/repair/ensemble"
+	"detective/internal/rules"
+)
+
+// maxProposalsPerEngine caps how many proposals one auxiliary engine
+// may emit for one tuple — a runaway engine cannot flood the vote or
+// the proposal arena (the per-engine analogue of the repair engine's
+// step budget).
+func maxProposalsPerEngine(arity int) int { return arity }
+
+// KATARA adapts the simulated KATARA system to the Proposer
+// interface. It reads the KB through a *kb.Store so hot-reloaded
+// generations are picked up without rebuilding the proposer; the
+// per-generation katara.System is cached and swapped when the store's
+// graph changes.
+type KATARA struct {
+	schema  *relation.Schema
+	pattern rules.Graph
+	store   *kb.Store
+}
+
+// NewKATARA validates pattern against schema and the store's current
+// graph (katara.New rejects fuzzy similarity nodes) and returns the
+// proposer.
+func NewKATARA(pattern rules.Graph, store *kb.Store, schema *relation.Schema) (*KATARA, error) {
+	if _, err := katara.New(pattern, store.Graph(), schema); err != nil {
+		return nil, err
+	}
+	return &KATARA{schema: schema, pattern: pattern, store: store}, nil
+}
+
+func (k *KATARA) Name() string { return "katara" }
+
+// Propose runs the KATARA match on the tuple and converts its repairs
+// to proposals. A full pattern match proposes nothing (the tuple is
+// annotated correct); a partial match proposes the minimal-cost KB
+// completion for each attribute KATARA deems wrong.
+func (k *KATARA) Propose(ctx context.Context, values []string, marked []bool) []ensemble.Proposal {
+	if err := ctx.Err(); err != nil {
+		return nil
+	}
+	// System construction is cheap (pattern index only); rebuilding per
+	// call keeps the proposer correct across hot-swapped generations
+	// without a generation-watch goroutine.
+	sys, err := katara.New(k.pattern, k.store.Graph(), k.schema)
+	if err != nil {
+		return nil
+	}
+	oc := sys.Clean(&relation.Tuple{Values: values})
+	if oc.Full || len(oc.Repairs) == 0 {
+		return nil
+	}
+	// Confidence scales with the support of the partial match: a repair
+	// derived from a 4-of-5 pattern match rests on far more agreeing
+	// evidence than one extrapolated from a single matched node, and
+	// KATARA's false repairs concentrate in the weakly-matched tail.
+	conf := float64(len(oc.MatchedCols)) / float64(len(k.pattern.Nodes))
+	limit := maxProposalsPerEngine(k.schema.Arity())
+	props := make([]ensemble.Proposal, 0, len(oc.Repairs))
+	for col, v := range oc.Repairs {
+		ci := k.schema.Col(col)
+		if ci < 0 || len(props) >= limit {
+			continue
+		}
+		props = append(props, ensemble.Proposal{Col: ci, Value: v, Conf: conf, KB: true})
+	}
+	return props
+}
+
+// FD adapts the Llunatic-style FD chase to per-tuple proposals. The
+// single-attribute FDs are grounded against a clean reference table
+// at construction time: for FD A→B, every A-value whose B-value is
+// unanimous in the reference becomes a constant lookup, and a tuple
+// whose B disagrees with the reference gets a proposal. This is the
+// chase's fixpoint restricted to evidence the reference table already
+// settles — the only part of Llunatic that is sound tuple-at-a-time.
+type FD struct {
+	schema *relation.Schema
+	// rules[i] applies lookup[i]: lhs value -> rhs value.
+	lhsCols []int
+	rhsCols []int
+	lookup  []map[string]string
+}
+
+// NewFD grounds fds against ref. FDs that do not validate against the
+// schema are skipped.
+func NewFD(schema *relation.Schema, fds []llunatic.FD, ref *relation.Table) *FD {
+	f := &FD{schema: schema}
+	for _, fd := range fds {
+		if fd.Validate(schema) != nil || len(fd.LHS) != 1 {
+			continue
+		}
+		lhs, rhs := schema.MustCol(fd.LHS[0]), schema.MustCol(fd.RHS)
+		m := make(map[string]string)
+		bad := make(map[string]bool)
+		for _, t := range ref.Tuples {
+			lv, rv := t.Values[lhs], t.Values[rhs]
+			if lv == "" || rv == "" || rv == llunatic.Llun {
+				continue
+			}
+			if prev, ok := m[lv]; ok && prev != rv {
+				bad[lv] = true
+				continue
+			}
+			m[lv] = rv
+		}
+		for lv := range bad {
+			delete(m, lv) // ambiguous in the reference: no verdict
+		}
+		if len(m) == 0 {
+			continue
+		}
+		f.lhsCols = append(f.lhsCols, lhs)
+		f.rhsCols = append(f.rhsCols, rhs)
+		f.lookup = append(f.lookup, m)
+	}
+	return f
+}
+
+func (f *FD) Name() string { return "llunatic" }
+
+func (f *FD) Propose(ctx context.Context, values []string, marked []bool) []ensemble.Proposal {
+	if err := ctx.Err(); err != nil {
+		return nil
+	}
+	limit := maxProposalsPerEngine(f.schema.Arity())
+	var props []ensemble.Proposal
+	for i, lhs := range f.lhsCols {
+		if len(props) >= limit {
+			break
+		}
+		want, ok := f.lookup[i][values[lhs]]
+		if !ok || values[f.rhsCols[i]] == want {
+			continue
+		}
+		props = append(props, ensemble.Proposal{Col: f.rhsCols[i], Value: want, Conf: 1})
+	}
+	return props
+}
+
+// CFD adapts mined constant CFDs to per-tuple proposals. Each
+// cfd.Rule is already fully grounded (constant LHS values implying a
+// constant RHS value), so the adapter is a hash lookup keyed by the
+// rule's LHS pattern.
+type CFD struct {
+	schema *relation.Schema
+	// buckets groups rules by their LHS column signature so one tuple
+	// probe per template suffices.
+	buckets []cfdBucket
+}
+
+type cfdBucket struct {
+	lhsCols []int
+	rhsCol  int
+	byVals  map[string]string // joined LHS values -> RHS value
+}
+
+// NewCFD indexes rs. Rules whose columns are absent from schema are
+// skipped.
+func NewCFD(schema *relation.Schema, rs []cfd.Rule) *CFD {
+	c := &CFD{schema: schema}
+	byTpl := make(map[string]int)
+	for _, r := range rs {
+		key := strings.Join(r.LHS, "\x00") + "\x01" + r.RHS
+		bi, ok := byTpl[key]
+		if !ok {
+			b := cfdBucket{rhsCol: schema.Col(r.RHS), byVals: make(map[string]string)}
+			valid := b.rhsCol >= 0
+			for _, a := range r.LHS {
+				ci := schema.Col(a)
+				if ci < 0 {
+					valid = false
+					break
+				}
+				b.lhsCols = append(b.lhsCols, ci)
+			}
+			if !valid {
+				continue
+			}
+			bi = len(c.buckets)
+			c.buckets = append(c.buckets, b)
+			byTpl[key] = bi
+		}
+		c.buckets[bi].byVals[strings.Join(r.LHSVals, "\x00")] = r.RHSVal
+	}
+	return c
+}
+
+func (c *CFD) Name() string { return "cfd" }
+
+func (c *CFD) Propose(ctx context.Context, values []string, marked []bool) []ensemble.Proposal {
+	if err := ctx.Err(); err != nil {
+		return nil
+	}
+	limit := maxProposalsPerEngine(c.schema.Arity())
+	var props []ensemble.Proposal
+	var key strings.Builder
+	for _, b := range c.buckets {
+		if len(props) >= limit {
+			break
+		}
+		key.Reset()
+		for i, ci := range b.lhsCols {
+			if i > 0 {
+				key.WriteByte(0)
+			}
+			key.WriteString(values[ci])
+		}
+		want, ok := b.byVals[key.String()]
+		if !ok || values[b.rhsCol] == want {
+			continue
+		}
+		props = append(props, ensemble.Proposal{Col: b.rhsCol, Value: want, Conf: 1})
+	}
+	return props
+}
+
+// AllPairTemplates returns every single-LHS template A→B over the
+// schema — the template universe the serving path mines constant CFDs
+// from when none are configured explicitly.
+func AllPairTemplates(schema *relation.Schema) []cfd.Template {
+	var ts []cfd.Template
+	for _, a := range schema.Attrs {
+		for _, b := range schema.Attrs {
+			if a == b {
+				continue
+			}
+			ts = append(ts, cfd.Template{LHS: []string{a}, RHS: b})
+		}
+	}
+	return ts
+}
+
+// LoadReference reads the clean reference CSV the FD and CFD
+// proposers are grounded from. The header must match schema exactly.
+func LoadReference(schema *relation.Schema, path string) (*relation.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tb, err := relation.ReadCSV(schema.Name, f)
+	if err != nil {
+		return nil, fmt.Errorf("ensemble reference %s: %w", path, err)
+	}
+	if len(tb.Schema.Attrs) != len(schema.Attrs) {
+		return nil, fmt.Errorf("ensemble reference %s: %d columns, schema has %d", path, len(tb.Schema.Attrs), len(schema.Attrs))
+	}
+	for i, a := range schema.Attrs {
+		if tb.Schema.Attrs[i] != a {
+			return nil, fmt.Errorf("ensemble reference %s: column %d is %q, schema has %q", path, i, tb.Schema.Attrs[i], a)
+		}
+	}
+	return &relation.Table{Schema: schema, Tuples: tb.Tuples}, nil
+}
+
+// BuildProposers assembles the serving-path auxiliary proposer set
+// from whatever inputs are available: KATARA when a valid exact-match
+// pattern exists, FD and CFD when a reference table is supplied.
+// Missing inputs degrade honestly — the ensemble simply runs with
+// fewer voters.
+func BuildProposers(schema *relation.Schema, pattern rules.Graph, store *kb.Store, ref *relation.Table) []ensemble.Proposer {
+	var ps []ensemble.Proposer
+	if store != nil && len(pattern.Nodes) > 0 {
+		if k, err := NewKATARA(pattern, store, schema); err == nil {
+			ps = append(ps, k)
+		}
+	}
+	if ref != nil && ref.Len() > 0 {
+		fd := NewFD(schema, llunatic.MineFDs(ref, 2), ref)
+		if len(fd.lookup) > 0 {
+			ps = append(ps, fd)
+		}
+		if rs, err := cfd.Mine(ref, AllPairTemplates(schema), 2); err == nil {
+			c := NewCFD(schema, rs)
+			if len(c.buckets) > 0 {
+				ps = append(ps, c)
+			}
+		}
+	}
+	return ps
+}

@@ -1,0 +1,248 @@
+// Package ensemble holds the building blocks of the serving-path
+// ensemble repair mode: the Proposer interface the auxiliary engines
+// (KATARA, FD chase, constant CFDs) are adapted to, the weighted
+// cell-level vote that combines their proposals with the detective
+// engine's, and the KB-suspicion signal that down-weights proposals
+// resting on flagged taxonomy content.
+//
+// The package deliberately does not import internal/repair: the
+// repair engine embeds the vote (so the ensemble path shares the
+// engine's memo, breaker, recorder, and telemetry), and this package
+// supplies everything the vote needs without creating an import
+// cycle. See repair.Options.Ensemble for the wiring.
+//
+// The design follows HoloClean's holistic-inference idea (PAPERS.md):
+// several independent, individually fallible repair signals combine
+// into one scored verdict, and a configurable acceptance threshold
+// turns low-confidence repairs into detect-only marks instead of
+// rewrites.
+package ensemble
+
+import (
+	"context"
+	"sort"
+)
+
+// Proposal is one engine's suggested rewrite of one cell.
+type Proposal struct {
+	// Col is the schema column index the proposal rewrites.
+	Col int
+	// Value is the proposed replacement value.
+	Value string
+	// Conf is the engine's own confidence in [0, 1]; it scales the
+	// engine's weight in the vote.
+	Conf float64
+	// KB marks a proposal whose value was drawn from the knowledge
+	// base (detective rules, KATARA); only KB-backed proposals are
+	// subject to suspicion down-weighting.
+	KB bool
+}
+
+// Proposer is one repair engine viewed as a per-tuple proposal
+// source. Propose inspects the tuple and returns the cell rewrites
+// the engine would apply; it must not mutate the tuple. Values is the
+// tuple's cell values and marked its positive marks — proposals for
+// marked cells are discarded by the vote (a marked cell has been
+// proven correct and is never second-guessed, §III-B).
+//
+// Propose runs concurrently with other proposers and must be safe for
+// concurrent use. A panic inside Propose quarantines that engine for
+// the tuple (its proposals are dropped, the tuple is still served);
+// ctx cancellation should make Propose return early with whatever it
+// has.
+type Proposer interface {
+	Name() string
+	Propose(ctx context.Context, values []string, marked []bool) []Proposal
+}
+
+// DefaultThreshold is the acceptance threshold when
+// repair.EnsembleOptions.Threshold is zero: a winning value must hold
+// at least this share of the participating vote weight (capped at a
+// total of 1) to be written; below it the cell degrades to a
+// detect-only mark. Under DefaultWeights this admits an uncontested
+// detective repair, a strongly-matched KATARA repair, and any
+// coalition containing one of those — while a lone FD or CFD
+// proposal, or the two agreeing with each other, stays detect-only
+// (their standalone precision on the eval suite is ~0.6).
+const DefaultThreshold = 0.68
+
+// DefaultWeights are the per-engine vote weights when
+// repair.EnsembleOptions.Weights does not name an engine. The
+// detective engine anchors the scale at 1; the auxiliary engines are
+// ranked by the precision the paper's Exp-1/Exp-2 measured for them,
+// and the FD-family weights sit low enough that llunatic and cfd
+// agreeing with each other (their errors are correlated — both chase
+// mined dependencies) sums below DefaultThreshold.
+var DefaultWeights = map[string]float64{
+	"detective": 1.0,
+	"katara":    0.9,
+	"cfd":       0.35,
+	"llunatic":  0.25,
+}
+
+// DefaultWeight is the weight of an engine named by no entry in
+// either the configured or the default weight map.
+const DefaultWeight = 0.5
+
+// WeightFor resolves the effective base weight of engine name:
+// explicit configuration first, then DefaultWeights, then
+// DefaultWeight.
+func WeightFor(weights map[string]float64, name string) float64 {
+	if w, ok := weights[name]; ok {
+		return w
+	}
+	if w, ok := DefaultWeights[name]; ok {
+		return w
+	}
+	return DefaultWeight
+}
+
+// Decision is the vote's verdict on one cell.
+type Decision struct {
+	// Col is the schema column index.
+	Col int
+	// Value is the winning proposed value.
+	Value string
+	// Conf is the winner's share of the participating weight, capped
+	// at a total of 1 so a lone low-weight engine cannot award itself
+	// full confidence.
+	Conf float64
+	// Conflict reports that more than one distinct value was proposed
+	// for the cell.
+	Conflict bool
+	// Backers are the indexes (into the vote's engine slice) of the
+	// engines whose proposal matched the winning value; Participants
+	// are all engines that proposed anything for the cell.
+	Backers      []int
+	Participants []int
+}
+
+// Vote combines per-engine proposals for one tuple into per-cell
+// decisions. byEngine[i] holds engine i's proposals and weights[i]
+// its effective weight (base weight × reliability); suspect, when
+// non-nil, returns a multiplicative penalty in (0, 1] for a KB-backed
+// proposal of the given value. Proposals for marked cells and
+// proposals from zero-weight engines are ignored. Decisions are
+// returned in ascending column order.
+//
+// Confidence of value v in a cell:
+//
+//	conf(v) = Σ effW(engines proposing v) / max(Σ effW(participants), 1)
+//
+// where effW folds the proposal's own Conf and any suspicion penalty
+// into the engine weight. The max(·, 1) floor means a single engine
+// of weight w proposing alone yields conf = w: acceptance then
+// reduces to "is this engine alone trustworthy enough", while
+// agreeing engines accumulate support toward 1.
+// Vote enforces one vote per engine per candidate value: an engine
+// that derives the same rewrite through several of its own rules
+// (e.g. many CFD templates implying one RHS) must not stack its
+// weight into a self-coalition — only its strongest derivation
+// counts. Coalitions therefore always mean *distinct* engines
+// agreeing.
+func Vote(byEngine [][]Proposal, weights []float64, marked []bool, suspect func(string) float64) []Decision {
+	type cand struct {
+		value string
+		engW  map[int]float64 // backer engine -> strongest effW
+	}
+	type cell struct {
+		cands        []cand
+		participants []int
+	}
+	cells := make(map[int]*cell)
+	for ei, props := range byEngine {
+		if weights[ei] <= 0 {
+			continue
+		}
+		for _, p := range props {
+			if p.Col < 0 || (p.Col < len(marked) && marked[p.Col]) {
+				continue // marked cells are proven correct, never revoted
+			}
+			w := weights[ei] * p.Conf
+			if p.KB && suspect != nil {
+				w *= suspect(p.Value)
+			}
+			if w <= 0 {
+				continue
+			}
+			c := cells[p.Col]
+			if c == nil {
+				c = &cell{}
+				cells[p.Col] = c
+			}
+			if !hasEngine(c.participants, ei) {
+				c.participants = append(c.participants, ei)
+			}
+			found := false
+			for i := range c.cands {
+				if c.cands[i].value == p.Value {
+					if w > c.cands[i].engW[ei] {
+						c.cands[i].engW[ei] = w
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				c.cands = append(c.cands, cand{value: p.Value, engW: map[int]float64{ei: w}})
+			}
+		}
+	}
+
+	cols := make([]int, 0, len(cells))
+	for col := range cells {
+		cols = append(cols, col)
+	}
+	sort.Ints(cols)
+	candW := func(cd cand) float64 {
+		w := 0.0
+		for _, ew := range cd.engW {
+			w += ew
+		}
+		return w
+	}
+	out := make([]Decision, 0, len(cols))
+	for _, col := range cols {
+		c := cells[col]
+		total := 0.0
+		best, bestW := 0, 0.0
+		for i, cd := range c.cands {
+			w := candW(cd)
+			total += w
+			// Ties break toward the earlier candidate (the detective
+			// engine proposes first), keeping the vote deterministic.
+			if i == 0 || w > bestW {
+				best, bestW = i, w
+			}
+		}
+		if total < 1 {
+			total = 1
+		}
+		win := c.cands[best]
+		backers := make([]int, 0, len(win.engW))
+		for ei := range win.engW {
+			backers = append(backers, ei)
+		}
+		sort.Ints(backers)
+		out = append(out, Decision{
+			Col:          col,
+			Value:        win.value,
+			Conf:         bestW / total,
+			Conflict:     len(c.cands) > 1,
+			Backers:      backers,
+			Participants: c.participants,
+		})
+	}
+	return out
+}
+
+// hasEngine reports whether list already contains ei; engine lists
+// are tiny (≤ the engine count), so a linear scan beats a map.
+func hasEngine(list []int, ei int) bool {
+	for _, x := range list {
+		if x == ei {
+			return true
+		}
+	}
+	return false
+}

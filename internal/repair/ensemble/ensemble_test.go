@@ -1,0 +1,211 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+)
+
+func prop(col int, v string, conf float64, kbBacked bool) Proposal {
+	return Proposal{Col: col, Value: v, Conf: conf, KB: kbBacked}
+}
+
+func TestVoteLoneEngineConfidenceIsItsWeight(t *testing.T) {
+	ds := Vote([][]Proposal{
+		{prop(2, "x", 1, false)},
+	}, []float64{0.9}, nil, nil)
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %v, want 1", ds)
+	}
+	d := ds[0]
+	if d.Col != 2 || d.Value != "x" || d.Conflict {
+		t.Fatalf("decision = %+v", d)
+	}
+	if math.Abs(d.Conf-0.9) > 1e-9 {
+		t.Fatalf("Conf = %v, want 0.9 (lone engine of weight 0.9)", d.Conf)
+	}
+}
+
+func TestVoteUnanimousCoalitionCapsAtOne(t *testing.T) {
+	ds := Vote([][]Proposal{
+		{prop(0, "x", 1, false)},
+		{prop(0, "x", 1, false)},
+	}, []float64{1.0, 0.9}, nil, nil)
+	if len(ds) != 1 || ds[0].Conf != 1 {
+		t.Fatalf("decisions = %+v, want one decision at conf 1", ds)
+	}
+	if got := ds[0].Backers; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Backers = %v, want [0 1]", got)
+	}
+	if ds[0].Conflict {
+		t.Fatal("unanimous vote must not be a conflict")
+	}
+}
+
+func TestVoteConflictSplitsWeight(t *testing.T) {
+	ds := Vote([][]Proposal{
+		{prop(0, "a", 1, false)},
+		{prop(0, "b", 1, false)},
+	}, []float64{1.0, 0.6}, nil, nil)
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %v", ds)
+	}
+	d := ds[0]
+	if !d.Conflict || d.Value != "a" {
+		t.Fatalf("decision = %+v, want conflict won by engine 0", d)
+	}
+	if want := 1.0 / 1.6; math.Abs(d.Conf-want) > 1e-9 {
+		t.Fatalf("Conf = %v, want %v", d.Conf, want)
+	}
+	if len(d.Participants) != 2 {
+		t.Fatalf("Participants = %v, want both engines", d.Participants)
+	}
+}
+
+func TestVoteTieBreaksToEarlierEngine(t *testing.T) {
+	ds := Vote([][]Proposal{
+		{prop(0, "a", 1, false)},
+		{prop(0, "b", 1, false)},
+	}, []float64{0.7, 0.7}, nil, nil)
+	if ds[0].Value != "a" {
+		t.Fatalf("tied vote won by %q, want the earlier engine's value", ds[0].Value)
+	}
+}
+
+// One engine deriving the same rewrite through several of its own
+// rules must not stack weight into a self-coalition: only distinct
+// engines accumulate support. This is what keeps a many-template CFD
+// proposer from out-voting everyone on its own.
+func TestVoteOneEngineOneVotePerCandidate(t *testing.T) {
+	ds := Vote([][]Proposal{
+		{prop(0, "x", 1, false), prop(0, "x", 1, false), prop(0, "x", 0.5, false)},
+	}, []float64{0.5}, nil, nil)
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %v", ds)
+	}
+	if math.Abs(ds[0].Conf-0.5) > 1e-9 {
+		t.Fatalf("Conf = %v, want 0.5 (no self-coalition)", ds[0].Conf)
+	}
+	if len(ds[0].Backers) != 1 || len(ds[0].Participants) != 1 {
+		t.Fatalf("Backers=%v Participants=%v, want one entry each",
+			ds[0].Backers, ds[0].Participants)
+	}
+}
+
+// The strongest of an engine's duplicate derivations counts, in
+// either arrival order.
+func TestVoteDuplicateDerivationKeepsStrongest(t *testing.T) {
+	for _, props := range [][]Proposal{
+		{prop(0, "x", 0.4, false), prop(0, "x", 1, false)},
+		{prop(0, "x", 1, false), prop(0, "x", 0.4, false)},
+	} {
+		ds := Vote([][]Proposal{props}, []float64{0.8}, nil, nil)
+		if math.Abs(ds[0].Conf-0.8) > 1e-9 {
+			t.Fatalf("Conf = %v, want 0.8 (strongest derivation)", ds[0].Conf)
+		}
+	}
+}
+
+func TestVoteMarkedCellsNeverRevoted(t *testing.T) {
+	ds := Vote([][]Proposal{
+		{prop(0, "x", 1, false), prop(1, "y", 1, false)},
+	}, []float64{1}, []bool{true, false}, nil)
+	if len(ds) != 1 || ds[0].Col != 1 {
+		t.Fatalf("decisions = %+v, want only the unmarked column", ds)
+	}
+}
+
+func TestVoteZeroWeightEngineIgnored(t *testing.T) {
+	ds := Vote([][]Proposal{
+		{prop(0, "a", 1, false)},
+		{prop(0, "b", 1, false), prop(1, "c", 1, false)},
+	}, []float64{1, 0}, nil, nil)
+	if len(ds) != 1 || ds[0].Col != 0 || ds[0].Value != "a" || ds[0].Conflict {
+		t.Fatalf("decisions = %+v, want the zero-weight engine fully ignored", ds)
+	}
+}
+
+func TestVoteSuspicionPenalizesKBProposalsOnly(t *testing.T) {
+	suspect := func(v string) float64 {
+		if v == "bad" {
+			return 0.5
+		}
+		return 1
+	}
+	ds := Vote([][]Proposal{
+		{prop(0, "bad", 1, true), prop(1, "bad", 1, false)},
+	}, []float64{1}, nil, suspect)
+	if len(ds) != 2 {
+		t.Fatalf("decisions = %v", ds)
+	}
+	if math.Abs(ds[0].Conf-0.5) > 1e-9 {
+		t.Fatalf("KB-backed suspect Conf = %v, want 0.5", ds[0].Conf)
+	}
+	if math.Abs(ds[1].Conf-1.0) > 1e-9 {
+		t.Fatalf("non-KB suspect Conf = %v, want 1 (no penalty)", ds[1].Conf)
+	}
+}
+
+func TestVoteDecisionsAscendingByColumn(t *testing.T) {
+	ds := Vote([][]Proposal{
+		{prop(3, "c", 1, false), prop(0, "a", 1, false), prop(1, "b", 1, false)},
+	}, []float64{1}, nil, nil)
+	if len(ds) != 3 || ds[0].Col != 0 || ds[1].Col != 1 || ds[2].Col != 3 {
+		t.Fatalf("decisions out of column order: %+v", ds)
+	}
+}
+
+func TestWeightFor(t *testing.T) {
+	if w := WeightFor(nil, "detective"); w != 1.0 {
+		t.Errorf("detective default = %v", w)
+	}
+	if w := WeightFor(map[string]float64{"katara": 0.2}, "katara"); w != 0.2 {
+		t.Errorf("explicit weight = %v, want 0.2", w)
+	}
+	if w := WeightFor(nil, "unheard-of"); w != DefaultWeight {
+		t.Errorf("unknown engine = %v, want DefaultWeight", w)
+	}
+	// An explicit zero silences the engine; only absence falls back.
+	if w := WeightFor(map[string]float64{"cfd": 0}, "cfd"); w != 0 {
+		t.Errorf("explicit zero = %v, want 0", w)
+	}
+}
+
+func TestFDCoalitionStaysBelowDefaultThreshold(t *testing.T) {
+	// The FD-family engines chase mined dependencies and err together;
+	// the defaults must keep their two-engine agreement detect-only.
+	sum := DefaultWeights["llunatic"] + DefaultWeights["cfd"]
+	if sum >= DefaultThreshold {
+		t.Fatalf("llunatic+cfd = %v >= DefaultThreshold %v; their pact would rewrite cells",
+			sum, DefaultThreshold)
+	}
+	// While the anchors stay independently trusted.
+	if DefaultWeights["detective"] < DefaultThreshold {
+		t.Fatal("an uncontested detective repair must clear the threshold")
+	}
+}
+
+func TestSuspicion(t *testing.T) {
+	s := NewSuspicion([]string{"Evil Corp"}, 0.5)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if f := s.Factor("Evil Corp"); f != 0.5 {
+		t.Errorf("suspect factor = %v, want 0.5", f)
+	}
+	if f := s.Factor("Fine Inc"); f != 1 {
+		t.Errorf("clean factor = %v, want 1", f)
+	}
+
+	var h SuspicionHolder
+	if h.Load().Len() != 0 {
+		t.Fatal("empty holder must load a zero-suspicion view")
+	}
+	h.Store(s)
+	if h.Load().Factor("Evil Corp") != 0.5 {
+		t.Fatal("holder did not publish the stored suspicion")
+	}
+	h.Store(nil)
+	if h.Load().Factor("Evil Corp") != 1 {
+		t.Fatal("nil store must clear the suspicion")
+	}
+}

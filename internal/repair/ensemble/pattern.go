@@ -1,0 +1,68 @@
+package ensemble
+
+import (
+	"fmt"
+
+	"detective/internal/rules"
+	"detective/internal/similarity"
+)
+
+// PatternFromRules derives a KATARA table pattern from the positive
+// side of the detective rules: the union of their evidence and
+// positive nodes (one pattern node per column, first type wins) and
+// the rule edges both of whose endpoints made it into the pattern.
+// Similarity specs are forced to exact equality — KATARA supports
+// exact matching only — and negative and path nodes are dropped, so
+// the derived pattern expresses what the rules jointly consider a
+// fully correct tuple.
+//
+// The result may fail katara.New (e.g. the column-bound subgraph is
+// disconnected); callers should treat that as "no KATARA proposer",
+// not an error.
+func PatternFromRules(drs []*rules.DR) rules.Graph {
+	var g rules.Graph
+	nameByCol := make(map[string]string)
+	edgeSeen := make(map[string]bool)
+	nodeCol := func(r *rules.DR, name string) (string, bool) {
+		for _, n := range r.Evidence {
+			if n.Name == name {
+				return n.Col, true
+			}
+		}
+		if r.Pos.Name == name {
+			return r.Pos.Col, true
+		}
+		return "", false // negative or path node
+	}
+	for _, r := range drs {
+		for _, n := range append(append([]rules.Node(nil), r.Evidence...), r.Pos) {
+			if n.Col == "" {
+				continue
+			}
+			if _, ok := nameByCol[n.Col]; ok {
+				continue
+			}
+			name := fmt.Sprintf("k%d", len(g.Nodes))
+			nameByCol[n.Col] = name
+			g.Nodes = append(g.Nodes, rules.Node{Name: name, Col: n.Col, Type: n.Type, Sim: similarity.Eq})
+		}
+		for _, e := range r.Edges {
+			fc, ok1 := nodeCol(r, e.From)
+			tc, ok2 := nodeCol(r, e.To)
+			if !ok1 || !ok2 {
+				continue
+			}
+			from, to := nameByCol[fc], nameByCol[tc]
+			if from == "" || to == "" || from == to {
+				continue
+			}
+			key := from + "\x00" + to + "\x00" + e.Rel
+			if edgeSeen[key] {
+				continue
+			}
+			edgeSeen[key] = true
+			g.Edges = append(g.Edges, rules.Edge{From: from, To: to, Rel: e.Rel})
+		}
+	}
+	return g
+}

@@ -1,0 +1,92 @@
+package ensemble
+
+import (
+	"strings"
+	"testing"
+
+	"detective/internal/rules"
+	"detective/internal/similarity"
+)
+
+const patternRules = `
+rule phi_city {
+  node w1 col="Name" type="Nobel laureates in Chemistry" sim="="
+  node w2 col="Institution" type="organization" sim="ED,2"
+  pos  p1 col="City" type="city" sim="="
+  neg  n1 col="City" type="city" sim="="
+  edge w1 "worksAt" w2
+  edge w2 "locatedIn" p1
+  edge w1 "wasBornIn" n1
+}
+
+rule phi_prize {
+  node w1 col="Name" type="people" sim="="
+  pos  p2 col="Prize" type="award" sim="="
+  edge w1 "wonPrize" p2
+}
+`
+
+func parsePatternRules(t *testing.T) []*rules.DR {
+	t.Helper()
+	drs, err := rules.ParseRules(strings.NewReader(patternRules))
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	return drs
+}
+
+func TestPatternFromRulesUnionsNodesByColumn(t *testing.T) {
+	g := PatternFromRules(parsePatternRules(t))
+
+	byCol := make(map[string]rules.Node)
+	for _, n := range g.Nodes {
+		if _, dup := byCol[n.Col]; dup {
+			t.Fatalf("column %q appears in two pattern nodes", n.Col)
+		}
+		byCol[n.Col] = n
+	}
+	for _, col := range []string{"Name", "Institution", "City", "Prize"} {
+		if _, ok := byCol[col]; !ok {
+			t.Fatalf("column %q missing from pattern (have %v)", col, byCol)
+		}
+	}
+	// First type wins when two rules bind the same column differently.
+	if got := byCol["Name"].Type; got != "Nobel laureates in Chemistry" {
+		t.Errorf("Name type = %q, want the first rule's type", got)
+	}
+	// KATARA matches exactly; the ED,2 spec on Institution must not survive.
+	for _, n := range g.Nodes {
+		if n.Sim != similarity.Eq {
+			t.Errorf("node %s (col %s) Sim = %+v, want forced Eq", n.Name, n.Col, n.Sim)
+		}
+	}
+}
+
+func TestPatternFromRulesKeepsOnlyFullyBoundEdges(t *testing.T) {
+	g := PatternFromRules(parsePatternRules(t))
+
+	name2col := make(map[string]string)
+	for _, n := range g.Nodes {
+		name2col[n.Name] = n.Col
+	}
+	type edge struct{ from, rel, to string }
+	got := make(map[edge]int)
+	for _, e := range g.Edges {
+		got[edge{name2col[e.From], e.Rel, name2col[e.To]}]++
+	}
+	want := []edge{
+		{"Name", "worksAt", "Institution"},
+		{"Institution", "locatedIn", "City"},
+		{"Name", "wonPrize", "Prize"},
+	}
+	for _, e := range want {
+		if got[e] != 1 {
+			t.Errorf("edge %v appears %d times, want exactly once", e, got[e])
+		}
+	}
+	// The wasBornIn edge targets the neg node, which the pattern drops.
+	if len(g.Edges) != len(want) {
+		t.Errorf("edges = %d (%v), want %d: the neg-node edge must be dropped",
+			len(g.Edges), g.Edges, len(want))
+	}
+}

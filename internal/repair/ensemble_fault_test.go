@@ -1,0 +1,149 @@
+package repair_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"detective/internal/dataset"
+	"detective/internal/repair"
+	"detective/internal/repair/ensemble"
+	"detective/internal/telemetry"
+)
+
+// boomerProposer panics on any tuple containing the poison value and
+// proposes nothing otherwise — the pure failure mode of an auxiliary
+// ensemble engine.
+type boomerProposer struct{ poison string }
+
+func (boomerProposer) Name() string { return "boomer" }
+
+func (b boomerProposer) Propose(ctx context.Context, values []string, marked []bool) []ensemble.Proposal {
+	for _, v := range values {
+		if v == b.poison {
+			panic("boomer: poisoned tuple")
+		}
+	}
+	return nil
+}
+
+// quarantineCounter returns the shared per-engine quarantine counter;
+// the default registry spans the test binary, so assertions are
+// delta-based.
+func quarantineCounter(engine string) *telemetry.Counter {
+	return telemetry.Default().Counter("detective_ensemble_quarantined_total", "",
+		telemetry.Label{Name: "engine", Value: engine})
+}
+
+// A panicking auxiliary proposer must cost exactly its own vote on
+// exactly the poisoned tuple: the row is still served, the detective
+// leg still repairs it, and the quarantine is visible as a labelled
+// counter increment — not as a request failure.
+func TestFaultEnsembleProposerPanicQuarantined(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	poison := "POISON-ENSEMBLE-4X"
+	dirty := ex.Dirty.Clone()
+	dirty.SetCell(2, "Name", poison)
+
+	single, err := repair.NewEngine(ex.Rules, ex.KB, ex.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := repair.NewEngineWithOptions(ex.Rules, ex.KB, ex.Schema, repair.Options{
+		Ensemble: repair.EnsembleOptions{
+			Enabled:   true,
+			Proposers: []ensemble.Proposer{boomerProposer{poison: poison}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	quarC := quarantineCounter("boomer")
+	base := quarC.Value()
+
+	var in, out, want bytes.Buffer
+	if err := dirty.WriteCSV(&in); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ens.CleanCSVStreamEnsembleContext(context.Background(), &in, &out, true)
+	if err != nil {
+		t.Fatalf("ensemble stream: %v", err)
+	}
+	if res.Rows != dirty.Len() {
+		t.Fatalf("Rows = %d, want %d: a proposer panic must not drop the row", res.Rows, dirty.Len())
+	}
+	// The proposer quarantine is per-engine-per-tuple, not row-level
+	// degradation: the detective leg completed, so the stream reports
+	// zero quarantined rows.
+	if res.Quarantined != 0 {
+		t.Errorf("row-level Quarantined = %d, want 0", res.Quarantined)
+	}
+	if got := quarC.Value() - base; got != 1 {
+		t.Errorf("boomer quarantine counter delta = %d, want 1", got)
+	}
+
+	// With its lone auxiliary silenced by the panic (and proposing
+	// nothing elsewhere), the ensemble output is the single-engine
+	// output plus the confidence column.
+	in.Reset()
+	if err := dirty.WriteCSV(&in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.CleanCSVStreamContext(context.Background(), &in, &want, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := stripConfidence(t, out.String()); got != want.String() {
+		t.Fatalf("output with quarantined proposer diverged from single engine\ngot:\n%s\nwant:\n%s",
+			got, want.String())
+	}
+}
+
+// An auxiliary engine that panics on every tuple degrades the
+// ensemble to the detective engine alone — every row served, one
+// quarantine per row.
+func TestFaultEnsembleProposerAlwaysPanics(t *testing.T) {
+	ex := dataset.NewPaperExample()
+	always := alwaysPanicProposer{}
+	ens, err := repair.NewEngineWithOptions(ex.Rules, ex.KB, ex.Schema, repair.Options{
+		Ensemble: repair.EnsembleOptions{
+			Enabled:   true,
+			Proposers: []ensemble.Proposer{always},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	quarC := quarantineCounter("always-boom")
+	base := quarC.Value()
+
+	var in, out bytes.Buffer
+	if err := ex.Dirty.WriteCSV(&in); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ens.CleanCSVStreamEnsembleContext(context.Background(), &in, &out, false)
+	if err != nil {
+		t.Fatalf("ensemble stream: %v", err)
+	}
+	if res.Rows != ex.Dirty.Len() {
+		t.Fatalf("Rows = %d, want %d", res.Rows, ex.Dirty.Len())
+	}
+	if got := quarC.Value() - base; got != int64(ex.Dirty.Len()) {
+		t.Errorf("quarantine counter delta = %d, want one per row (%d)", got, ex.Dirty.Len())
+	}
+	// The detective leg still cleans: the running example's r1 City
+	// repair (Karcag -> Haifa) must appear.
+	if !strings.Contains(out.String(), "Haifa") {
+		t.Errorf("detective repairs missing from output:\n%s", out.String())
+	}
+}
+
+type alwaysPanicProposer struct{}
+
+func (alwaysPanicProposer) Name() string { return "always-boom" }
+
+func (alwaysPanicProposer) Propose(context.Context, []string, []bool) []ensemble.Proposal {
+	panic("always-boom")
+}

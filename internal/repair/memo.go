@@ -177,6 +177,7 @@ type tupleEntry struct {
 	vals   []string
 	mk     []bool
 	oc     tupleOutcome
+	conf   float64
 	bytes  int64
 	ref    bool
 	used   bool
@@ -375,45 +376,48 @@ func (s *tupleShard) lookupTuple(c *memoCounters, gen int64, fp uint64, vals []s
 
 // getTupleClone returns a fresh clone of the memoized repair of
 // (vals, mk) under generation gen, for the table/request path where
-// the caller owns the result.
-func (m *repairMemo) getTupleClone(gen int64, fp uint64, vals []string, mk []bool) (*relation.Tuple, tupleOutcome, bool) {
+// the caller owns the result. The third result is the stored row
+// confidence (always 1 for single-engine entries).
+func (m *repairMemo) getTupleClone(gen int64, fp uint64, vals []string, mk []bool) (*relation.Tuple, tupleOutcome, float64, bool) {
 	s := &m.tuple[memoShard(fp)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.lookupTuple(&m.tupleStats, gen, fp, vals, mk)
 	if e == nil {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	cl := &relation.Tuple{
 		Values: append([]string(nil), e.vals...),
 		Marked: append([]bool(nil), e.mk...),
 	}
-	return cl, e.oc, true
+	return cl, e.oc, e.conf, true
 }
 
 // getRowInto copies the memoized repair of the unmarked row rec into
 // tup without allocating — the streaming read-through. It only
 // matches entries whose input was unmarked (origMk nil), which is
 // every entry the streaming paths insert.
-func (m *repairMemo) getRowInto(gen int64, fp uint64, rec []string, tup *relation.Tuple) (tupleOutcome, bool) {
+func (m *repairMemo) getRowInto(gen int64, fp uint64, rec []string, tup *relation.Tuple) (tupleOutcome, float64, bool) {
 	s := &m.tuple[memoShard(fp)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.lookupTuple(&m.tupleStats, gen, fp, rec, nil)
 	if e == nil {
-		return 0, false
+		return 0, 0, false
 	}
 	copy(tup.Values, e.vals)
 	copy(tup.Marked, e.mk)
-	return e.oc, true
+	return e.oc, e.conf, true
 }
 
-// putTuple inserts the repair of (origVals, origMk) → (out, oc) under
-// generation gen. owned says the input strings are safe to retain
-// (deep-copied rows, table tuples); when false (the serial stream's
-// ReuseRecord buffers) every retained string is cloned first.
-// Oversized entries are dropped rather than thrashing the CLOCK.
-func (m *repairMemo) putTuple(gen int64, fp uint64, origVals []string, origMk []bool, out *relation.Tuple, oc tupleOutcome, owned bool) {
+// putTuple inserts the repair of (origVals, origMk) → (out, oc, conf)
+// under generation gen. conf is the row confidence stored alongside
+// the outcome (single-engine paths pass 1). owned says the input
+// strings are safe to retain (deep-copied rows, table tuples); when
+// false (the serial stream's ReuseRecord buffers) every retained
+// string is cloned first. Oversized entries are dropped rather than
+// thrashing the CLOCK.
+func (m *repairMemo) putTuple(gen int64, fp uint64, origVals []string, origMk []bool, out *relation.Tuple, oc tupleOutcome, conf float64, owned bool) {
 	size := int64(tupleEntryOverhead) + rowBytes(origVals) + rowBytes(out.Values) + int64(len(origVals)+2*len(out.Values))
 	if size > m.tupleBudget {
 		return
@@ -443,7 +447,7 @@ func (m *repairMemo) putTuple(gen int64, fp uint64, origVals []string, origMk []
 	}
 
 	e := &s.slots[i]
-	e.fp, e.gen, e.oc, e.bytes = fp, gen, oc, size
+	e.fp, e.gen, e.oc, e.conf, e.bytes = fp, gen, oc, conf, size
 	e.used, e.ref = true, true
 	e.orig = copyRowInto(e.orig, origVals, owned)
 	if anyMarked(origMk) {
@@ -699,7 +703,7 @@ func (e *Engine) repairRowMemo(tup *relation.Tuple, rec []string, owned bool) (t
 		// A half-open probe skips the memo read: a cached quarantine
 		// verdict must not decide the probe, and the fresh verdict below
 		// overwrites (heals) the poisoned entry.
-		if oc, ok := memo.getRowInto(gen, fp, rec, tup); ok {
+		if oc, _, ok := memo.getRowInto(gen, fp, rec, tup); ok {
 			e.count(oc, nil)
 			return oc, true
 		}
@@ -712,7 +716,7 @@ func (e *Engine) repairRowMemo(tup *relation.Tuple, rec []string, owned bool) (t
 		// a replay must degrade identically.
 		copyRecInto(tup, rec)
 	}
-	memo.putTuple(gen, fp, rec, nil, tup, oc, owned)
+	memo.putTuple(gen, fp, rec, nil, tup, oc, 1, owned)
 	return oc, false
 }
 

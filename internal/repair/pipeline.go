@@ -71,6 +71,11 @@ type rowChunk struct {
 	quarantined int
 	budget      int
 	deduped     int
+
+	// Ensemble-mode per-chunk confidence aggregates (zero otherwise).
+	confSum float64
+	confMin float64
+	below   int
 }
 
 var rowChunkPool = sync.Pool{New: func() any { return new(rowChunk) }}
@@ -83,6 +88,7 @@ func getRowChunk(seq, chunkSize, arity int) *rowChunk {
 	c := rowChunkPool.Get().(*rowChunk)
 	c.seq = seq
 	c.quarantined, c.budget, c.deduped = 0, 0, 0
+	c.confSum, c.confMin, c.below = 0, 1, 0
 	if n := chunkSize * arity; cap(c.rowBuf) < n {
 		c.rowBuf = make([]string, n)
 	}
@@ -110,8 +116,11 @@ func (c *rowChunk) appendRow(rec []string) {
 // cleanStreamParallel drives the pipeline over an already-validated
 // CSV stream. The header has been written to cw and cr has
 // ReuseRecord set; arity is the schema arity.
-func (e *Engine) cleanStreamParallel(ctx context.Context, cr *csv.Reader, cw *csv.Writer, arity int, marked bool) (StreamResult, error) {
+func (e *Engine) cleanStreamParallel(ctx context.Context, cr *csv.Reader, cw *csv.Writer, arity int, marked, ens bool) (StreamResult, error) {
 	var res StreamResult
+	if ens {
+		res.MinConfidence = 1
+	}
 	workers := e.opts.Workers
 	chunkSize := e.opts.ChunkSize
 	if chunkSize <= 0 {
@@ -197,7 +206,7 @@ func (e *Engine) cleanStreamParallel(ctx context.Context, cr *csv.Reader, cw *cs
 		go func() {
 			defer wg.Done()
 			for c := range chunks {
-				e.repairChunk(c, marked)
+				e.repairChunk(pctx, c, marked, ens)
 				done <- c
 			}
 		}()
@@ -228,6 +237,13 @@ func (e *Engine) cleanStreamParallel(ctx context.Context, cr *csv.Reader, cw *cs
 		res.Quarantined += c.quarantined
 		res.BudgetExhausted += c.budget
 		res.Deduped += c.deduped
+		if ens {
+			res.ConfidenceSum += c.confSum
+			if c.confMin < res.MinConfidence {
+				res.MinConfidence = c.confMin
+			}
+			res.BelowThreshold += c.below
+		}
 		return nil
 	}
 	next := 0
@@ -285,7 +301,7 @@ func (e *Engine) cleanStreamParallel(ctx context.Context, cr *csv.Reader, cw *cs
 // disabled, the pre-memo in-chunk duplicate map stands in, limited to
 // one chunk. Outcome tallies count every row, duplicates included, so
 // the stream's accounting matches the serial path.
-func (e *Engine) repairChunk(c *rowChunk, marked bool) {
+func (e *Engine) repairChunk(ctx context.Context, c *rowChunk, marked, ens bool) {
 	arity := 0
 	if len(c.rows) > 0 {
 		arity = len(c.rows[0])
@@ -296,13 +312,18 @@ func (e *Engine) repairChunk(c *rowChunk, marked bool) {
 	}
 	// Output rows are fixed-stride views into the chunk's recycled
 	// arena; nextOut never allocates once the chunk has been through
-	// the pool at this (chunkSize, arity) shape.
-	if n := len(c.rows) * arity; cap(c.outBuf) < n {
+	// the pool at this (chunkSize, arity) shape. Ensemble mode widens
+	// the stride by one for the trailing confidence column.
+	outArity := arity
+	if ens {
+		outArity++
+	}
+	if n := len(c.rows) * outArity; cap(c.outBuf) < n {
 		c.outBuf = make([]string, n)
 	}
 	nextOut := func() []string {
-		n := len(c.out) * arity
-		out := c.outBuf[n : n+arity : n+arity]
+		n := len(c.out) * outArity
+		out := c.outBuf[n : n+outArity : n+outArity]
 		c.out = append(c.out, out)
 		return out
 	}
@@ -318,9 +339,10 @@ func (e *Engine) repairChunk(c *rowChunk, marked bool) {
 	// detect-only degradation and half-open probes see every row
 	// exactly like the serial path.
 	type dedupEntry struct {
-		rec []string // arena-backed input row, for collision checks
-		out []string
-		oc  tupleOutcome
+		rec  []string // arena-backed input row, for collision checks
+		out  []string
+		oc   tupleOutcome
+		conf float64
 	}
 	var dedup map[uint64]dedupEntry
 	if len(c.rows) > 1 {
@@ -346,6 +368,9 @@ func (e *Engine) repairChunk(c *rowChunk, marked bool) {
 				// makes recycling the chunk safe.
 				copy(nextOut(), ent.out)
 				tallyChunkOutcome(c, ent.oc)
+				if ens {
+					tallyChunkConf(c, ent.conf, e.ens.threshold)
+				}
 				c.deduped++
 				// Duplicates still count as processed tuples in the
 				// engine's lifetime and telemetry counters — batched
@@ -359,15 +384,26 @@ func (e *Engine) repairChunk(c *rowChunk, marked bool) {
 		// keep-original-value degradation as on the serial path.
 		// owned=true: the reader stage copied the row out of the
 		// csv.Reader's buffers, so the memo may retain its strings.
-		oc, hit := e.repairRowMemo(tup, rec, true)
+		var oc tupleOutcome
+		var hit bool
+		conf := 1.0
+		if ens {
+			oc, conf, hit = e.repairRowEnsembleMemo(ctx, tup, rec, true)
+			tallyChunkConf(c, conf, e.ens.threshold)
+		} else {
+			oc, hit = e.repairRowMemo(tup, rec, true)
+		}
 		out := nextOut()
-		formatRow(out, tup, marked)
+		formatRow(out[:arity], tup, marked)
+		if ens {
+			out[arity] = formatConf(conf)
+		}
 		tallyChunkOutcome(c, oc)
 		if hit {
 			c.deduped++
 		}
 		if cached {
-			dedup[fp] = dedupEntry{rec: rec, out: out, oc: oc}
+			dedup[fp] = dedupEntry{rec: rec, out: out, oc: oc, conf: conf}
 		}
 	}
 	for oc, n := range dupOutcomes {
@@ -388,6 +424,16 @@ func chunkRowFP(rec []string) uint64 {
 		h = fpString(h, v)
 	}
 	return fpFinish(h)
+}
+
+func tallyChunkConf(c *rowChunk, conf, threshold float64) {
+	c.confSum += conf
+	if conf < c.confMin {
+		c.confMin = conf
+	}
+	if conf < threshold {
+		c.below++
+	}
 }
 
 func tallyChunkOutcome(c *rowChunk, oc tupleOutcome) {

@@ -5,6 +5,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 
 	"detective/internal/kb"
 	"detective/internal/relation"
@@ -35,6 +36,16 @@ type StreamResult struct {
 	// is counted exactly once, and still counts in Rows and in the
 	// outcome tallies above.
 	Deduped int
+
+	// Ensemble-mode confidence accounting (zero on single-engine
+	// streams): ConfidenceSum is the sum of per-row confidences (mean
+	// = ConfidenceSum/Rows), MinConfidence the minimum over all rows
+	// (1 when no row was contested), and BelowThreshold the number of
+	// rows whose confidence fell below the acceptance threshold —
+	// rows carrying at least one detect-only degraded cell.
+	ConfidenceSum  float64
+	MinConfidence  float64
+	BelowThreshold int
 }
 
 // CleanCSVStream cleans CSV row by row without materializing the
@@ -61,6 +72,30 @@ func (e *Engine) CleanCSVStream(r io.Reader, w io.Writer, marked bool) (int, err
 // parallel pipeline (see pipeline.go); the output bytes, the flush
 // cadence and the error semantics are identical to the serial path.
 func (e *Engine) CleanCSVStreamContext(ctx context.Context, r io.Reader, w io.Writer, marked bool) (StreamResult, error) {
+	return e.cleanCSVStream(ctx, r, w, marked, false)
+}
+
+// CleanCSVStreamEnsemble is CleanCSVStreamEnsembleContext without
+// cancellation.
+func (e *Engine) CleanCSVStreamEnsemble(r io.Reader, w io.Writer, marked bool) (StreamResult, error) {
+	return e.CleanCSVStreamEnsembleContext(context.Background(), r, w, marked)
+}
+
+// CleanCSVStreamEnsembleContext is the ensemble-mode streaming clean:
+// every row is repaired by the weighted vote over the detective
+// engine and the configured auxiliary proposers, and the output CSV
+// carries one extra trailing "confidence" column holding the row's
+// confidence (three decimals). Error and flush semantics match
+// CleanCSVStreamContext. It errors when the engine was built without
+// Options.Ensemble.Enabled.
+func (e *Engine) CleanCSVStreamEnsembleContext(ctx context.Context, r io.Reader, w io.Writer, marked bool) (StreamResult, error) {
+	if e.ens == nil {
+		return StreamResult{}, fmt.Errorf("repair: ensemble mode not enabled on this engine")
+	}
+	return e.cleanCSVStream(ctx, r, w, marked, true)
+}
+
+func (e *Engine) cleanCSVStream(ctx context.Context, r io.Reader, w io.Writer, marked, ens bool) (StreamResult, error) {
 	var res StreamResult
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
@@ -79,7 +114,11 @@ func (e *Engine) CleanCSVStreamContext(ctx context.Context, r io.Reader, w io.Wr
 	}
 
 	cw := csv.NewWriter(w)
-	if err := cw.Write(header); err != nil {
+	outHeader := header
+	if ens {
+		outHeader = append(append([]string(nil), header...), "confidence")
+	}
+	if err := cw.Write(outHeader); err != nil {
 		return res, err
 	}
 	// Steady-state cleaning reuses the reader's record buffer; the
@@ -88,15 +127,18 @@ func (e *Engine) CleanCSVStreamContext(ctx context.Context, r io.Reader, w io.Wr
 	// chunk channel.
 	cr.ReuseRecord = true
 	if e.opts.Workers > 1 {
-		return e.cleanStreamParallel(ctx, cr, cw, len(header), marked)
+		return e.cleanStreamParallel(ctx, cr, cw, len(header), marked, ens)
 	}
-	return e.cleanStreamSerial(ctx, cr, cw, len(header), marked)
+	return e.cleanStreamSerial(ctx, cr, cw, len(header), marked, ens)
 }
+
+// formatConf renders a row confidence for the CSV confidence column.
+func formatConf(conf float64) string { return strconv.FormatFloat(conf, 'f', 3, 64) }
 
 // cleanStreamSerial is the single-core streaming path: one record, one
 // tuple, and the engine's pooled repair state are reused, so the only
 // per-row allocations left are the rewritten cell values themselves.
-func (e *Engine) cleanStreamSerial(ctx context.Context, cr *csv.Reader, cw *csv.Writer, arity int, marked bool) (StreamResult, error) {
+func (e *Engine) cleanStreamSerial(ctx context.Context, cr *csv.Reader, cw *csv.Writer, arity int, marked, ens bool) (StreamResult, error) {
 	var res StreamResult
 	// partial wraps a mid-stream failure: everything written so far is
 	// pushed through to the sink first, so the error's Done count is
@@ -105,7 +147,12 @@ func (e *Engine) cleanStreamSerial(ctx context.Context, cr *csv.Reader, cw *csv.
 		cw.Flush()
 		return res, &PartialError{Done: res.Rows, Err: err}
 	}
-	out := make([]string, arity)
+	outArity := arity
+	if ens {
+		outArity++ // trailing confidence column
+		res.MinConfidence = 1
+	}
+	out := make([]string, outArity)
 	tup := &relation.Tuple{
 		Values: make([]string, arity),
 		Marked: make([]bool, arity),
@@ -126,7 +173,22 @@ func (e *Engine) cleanStreamSerial(ctx context.Context, cr *csv.Reader, cw *csv.
 		}
 		// owned=false: with ReuseRecord the record's strings alias the
 		// reader's buffer, so anything the memo retains is cloned.
-		oc, hit := e.repairRowMemo(tup, rec, false)
+		var oc tupleOutcome
+		var hit bool
+		if ens {
+			var conf float64
+			oc, conf, hit = e.repairRowEnsembleMemo(ctx, tup, rec, false)
+			res.ConfidenceSum += conf
+			if conf < res.MinConfidence {
+				res.MinConfidence = conf
+			}
+			if conf < e.ens.threshold {
+				res.BelowThreshold++
+			}
+			out[arity] = formatConf(conf)
+		} else {
+			oc, hit = e.repairRowMemo(tup, rec, false)
+		}
 		switch oc {
 		case tupleQuarantined:
 			res.Quarantined++
@@ -137,7 +199,7 @@ func (e *Engine) cleanStreamSerial(ctx context.Context, cr *csv.Reader, cw *csv.
 			res.Deduped++
 			e.instr.streamDeduped.Inc()
 		}
-		formatRow(out, tup, marked)
+		formatRow(out[:arity], tup, marked)
 		if err := cw.Write(out); err != nil {
 			return partial(err)
 		}

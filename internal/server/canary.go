@@ -62,8 +62,9 @@ func (s *Server) StageReloadKB(g *kb.Graph, loadTime time.Duration) (int64, *Can
 	s.canaryStagedTotal.Inc()
 	rep := &CanaryReport{}
 
+	var vr *verify.Report
 	if s.verifyMode != verify.ModeOff {
-		vr := verify.Check(g, verify.Options{})
+		vr = verify.Check(g, verify.Options{})
 		rep.Verify = vr.Summary()
 		rep.VerifyErrors = vr.Errors
 		rep.VerifyWarnings = vr.Warnings
@@ -110,6 +111,12 @@ func (s *Server) StageReloadKB(g *kb.Graph, loadTime time.Duration) (int64, *Can
 		"live_bad_rate", rep.LiveBadRate,
 		"divergence_rate", rep.DivergenceRate,
 		"load_seconds", loadTime.Seconds())
+
+	// Promotion refreshes the ensemble's two feedback loops: the
+	// dirty-KB suspicion signal for the newly served graph, and the
+	// per-engine reliability factors accumulated since the last swap.
+	s.applySuspicion(g, vr)
+	s.engine.RefreshEnsembleReliability()
 
 	if s.cfg.CanaryWatch > 0 {
 		go s.watchCanary(gen, base)
@@ -266,6 +273,7 @@ func (s *Server) rollback(expectGen int64, reason string) (int64, error) {
 	// its generation may still exist, but re-warm off the request path
 	// in case they were evicted while it sat in the ring.
 	s.engine.Warm()
+	s.refreshSuspicion(now)
 	s.log.Warn("kb rolled back",
 		"generation", now.Generation(),
 		"dropped_generation", dropped.Generation(),

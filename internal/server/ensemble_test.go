@@ -1,0 +1,130 @@
+package server_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"detective/internal/dataset"
+	"detective/internal/repair"
+	"detective/internal/repair/ensemble"
+	"detective/internal/server"
+)
+
+// panicProposer is an auxiliary ensemble engine that always panics —
+// the server-visible failure mode of a broken proposer.
+type panicProposer struct{}
+
+func (panicProposer) Name() string { return "panicky" }
+
+func (panicProposer) Propose(context.Context, []string, []bool) []ensemble.Proposal {
+	panic("panicky proposer")
+}
+
+func newEnsembleTestServer(t *testing.T, proposers ...ensemble.Proposer) *httptest.Server {
+	t.Helper()
+	ex := dataset.NewPaperExample()
+	s, err := server.NewWithConfig(ex.Rules, ex.KB, ex.Schema, server.Config{
+		Ensemble: repair.EnsembleOptions{Enabled: true, Proposers: proposers},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// postClean POSTs csv to url and returns status, the fully-drained
+// body, and the response trailers (valid only after the drain).
+func postClean(t *testing.T, url, csv string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Trailer
+}
+
+func TestCleanEnsembleConfidenceTrailers(t *testing.T) {
+	ts := newEnsembleTestServer(t)
+	status, body, trailer := postClean(t, ts.URL+"/clean?ensemble=1&marked=1", dirtyCSV)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d\n%s", status, body)
+	}
+	header := strings.SplitN(body, "\n", 2)[0]
+	if !strings.HasSuffix(header, ",confidence") {
+		t.Errorf("ensemble output header lacks confidence column: %q", header)
+	}
+	if !strings.Contains(body, "Haifa+") {
+		t.Errorf("City not repaired in ensemble mode:\n%s", body)
+	}
+	if got := trailer.Get(server.TrailerRows); got != "1" {
+		t.Errorf("%s = %q, want 1", server.TrailerRows, got)
+	}
+	for _, name := range []string{server.TrailerConfidenceMean, server.TrailerConfidenceMin} {
+		v := trailer.Get(name)
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			t.Errorf("%s = %q, want a float in [0, 1]", name, v)
+		}
+	}
+	if got := trailer.Get(server.TrailerConfidenceBelow); got != "0" {
+		t.Errorf("%s = %q, want 0: nothing contests the detective here", server.TrailerConfidenceBelow, got)
+	}
+}
+
+func TestCleanPlainOmitsConfidence(t *testing.T) {
+	ts := newEnsembleTestServer(t)
+	status, body, trailer := postClean(t, ts.URL+"/clean?marked=1", dirtyCSV)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if strings.Contains(strings.SplitN(body, "\n", 2)[0], "confidence") {
+		t.Errorf("plain clean output grew a confidence column: %q", body)
+	}
+	if got := trailer.Get(server.TrailerConfidenceMean); got != "" {
+		t.Errorf("plain clean sent %s = %q, want no confidence trailers", server.TrailerConfidenceMean, got)
+	}
+}
+
+func TestCleanEnsembleDisabledRejected(t *testing.T) {
+	ts, _ := newTestServer(t) // no Ensemble in config
+	status, body, _ := postClean(t, ts.URL+"/clean?ensemble=1", dirtyCSV)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 on a non-ensemble server\n%s", status, body)
+	}
+}
+
+// A proposer panicking inside the serving path must stay invisible to
+// the client: 200, the detective's repairs, full confidence trailers.
+// Named TestFault* so the fault-injection suite (make fault) runs it.
+func TestFaultCleanEnsembleProposerPanic(t *testing.T) {
+	ts := newEnsembleTestServer(t, panicProposer{})
+	status, body, trailer := postClean(t, ts.URL+"/clean?ensemble=1&marked=1", dirtyCSV)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 despite the panicking proposer\n%s", status, body)
+	}
+	if !strings.Contains(body, "Haifa+") || !strings.Contains(body, "Nobel Prize in Chemistry+") {
+		t.Errorf("detective repairs missing with quarantined proposer:\n%s", body)
+	}
+	if got := trailer.Get(server.TrailerRows); got != "1" {
+		t.Errorf("%s = %q, want 1", server.TrailerRows, got)
+	}
+	// The quarantine is per-engine, not row-level degradation.
+	if got := trailer.Get(server.TrailerQuarantined); got != "0" {
+		t.Errorf("%s = %q, want 0", server.TrailerQuarantined, got)
+	}
+	if got := trailer.Get(server.TrailerConfidenceMean); got == "" {
+		t.Error("confidence trailers missing on the quarantined-proposer path")
+	}
+}

@@ -32,6 +32,7 @@ func (s *Server) ReloadKB(g *kb.Graph, loadTime time.Duration) int64 {
 	// path, exactly like server construction does, so the first
 	// post-swap request does not pay the index build.
 	s.engine.Warm()
+	s.refreshSuspicion(g)
 	s.log.Info("kb reloaded",
 		"generation", gen,
 		"nodes", g.NumNodes(),

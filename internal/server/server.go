@@ -49,15 +49,21 @@ import (
 	"detective/internal/kb/verify"
 	"detective/internal/relation"
 	"detective/internal/repair"
+	"detective/internal/repair/ensemble"
 	"detective/internal/rules"
 	"detective/internal/telemetry"
 )
 
 // Trailer names carrying per-request cleaning stats on POST /clean.
+// The X-Clean-Confidence-* trailers appear only on ensemble requests
+// (?ensemble=1 against an ensemble-enabled server).
 const (
 	TrailerRows            = "X-Clean-Rows"
 	TrailerQuarantined     = "X-Clean-Quarantined"
 	TrailerBudgetExhausted = "X-Clean-Budget-Exhausted"
+	TrailerConfidenceMean  = "X-Clean-Confidence-Mean"
+	TrailerConfidenceMin   = "X-Clean-Confidence-Min"
+	TrailerConfidenceBelow = "X-Clean-Confidence-Below"
 )
 
 // Config tunes the server's fault-tolerance envelope. The zero value
@@ -145,6 +151,17 @@ type Config struct {
 	// Breaker configures the engine's repair circuit breaker
 	// (repair.BreakerOptions); the zero value leaves it disabled.
 	Breaker repair.BreakerOptions
+	// Ensemble configures the engine's multi-engine repair vote
+	// (repair.Options.Ensemble). When Enabled, POST /clean?ensemble=1
+	// repairs each row by the weighted vote over the detective engine
+	// and the configured auxiliary proposers; the response carries a
+	// trailing "confidence" CSV column and X-Clean-Confidence-*
+	// trailers. Plain /clean requests keep the single-engine path and
+	// its exact output bytes. The KB integrity self-check
+	// (VerifyMode != "off") additionally feeds the vote's suspicion
+	// signal on every (re)load, and each promoted canary refreshes the
+	// per-engine reliability weights.
+	Ensemble repair.EnsembleOptions
 	// MetricLabels is attached to every KB-lifecycle and cache series
 	// this server registers (reload/rollback/canary counters, load
 	// gauge, generation, catalog caches). Multi-tenant deployments set
@@ -264,6 +281,7 @@ func NewWithStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, cfg
 		MemoDisabled: cfg.MemoDisabled,
 		Breaker:      cfg.Breaker,
 		Recorder:     recorder,
+		Ensemble:     cfg.Ensemble,
 	})
 	if err != nil {
 		return nil, err
@@ -334,8 +352,47 @@ func NewWithStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, cfg
 		fmt.Fprintln(w, "ok")
 	}))
 	handle("GET /readyz", "/readyz", http.HandlerFunc(s.handleReadyz))
+	// Seed the ensemble's dirty-KB suspicion signal from the graph the
+	// server starts on; reloads and canary promotions refresh it.
+	s.refreshSuspicion(store.Graph())
 	s.ready.Store(true)
 	return s, nil
+}
+
+// refreshSuspicion recomputes the ensemble vote's dirty-KB suspicion
+// signal for g by running the KB integrity self-check and feeding the
+// names flagged by its content checks (taxonomy cycles, degree
+// outliers, duplicate labels) into the engine. KB-backed proposals of
+// those values are down-weighted in every subsequent vote. No-op when
+// ensemble mode is off; with the self-check off the signal is cleared
+// (it described a graph no longer served).
+func (s *Server) refreshSuspicion(g *kb.Graph) {
+	if !s.engine.EnsembleEnabled() {
+		return
+	}
+	if s.verifyMode == verify.ModeOff {
+		s.engine.SetEnsembleSuspicion(nil)
+		return
+	}
+	s.applySuspicion(g, verify.Check(g, verify.Options{}))
+}
+
+// applySuspicion publishes the suspicion signal derived from an
+// already-computed verify report (nil clears it).
+func (s *Server) applySuspicion(g *kb.Graph, vr *verify.Report) {
+	if !s.engine.EnsembleEnabled() {
+		return
+	}
+	var names []string
+	if vr != nil {
+		names = vr.SuspectNames(g)
+	}
+	if len(names) == 0 {
+		s.engine.SetEnsembleSuspicion(nil)
+		return
+	}
+	s.log.Info("ensemble suspicion refreshed", "suspect_names", len(names))
+	s.engine.SetEnsembleSuspicion(ensemble.NewSuspicion(names, s.cfg.Ensemble.SuspicionPenalty))
 }
 
 // registerCacheMetrics exports the catalog's two caching layers as
@@ -524,10 +581,19 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	marked := r.URL.Query().Get("marked") != ""
+	ens := r.URL.Query().Get("ensemble") != ""
+	if ens && !s.engine.EnsembleEnabled() {
+		writeError(w, http.StatusBadRequest, "ensemble mode is not enabled on this server")
+		return
+	}
 
 	// Trailers must be declared before the body starts; they carry the
 	// per-request stats that are only known once the stream ends.
-	w.Header().Set("Trailer", TrailerRows+", "+TrailerQuarantined+", "+TrailerBudgetExhausted)
+	trailer := TrailerRows + ", " + TrailerQuarantined + ", " + TrailerBudgetExhausted
+	if ens {
+		trailer += ", " + TrailerConfidenceMean + ", " + TrailerConfidenceMin + ", " + TrailerConfidenceBelow
+	}
+	w.Header().Set("Trailer", trailer)
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	rc := http.NewResponseController(w)
 	// /clean interleaves reads of the request body with response
@@ -538,13 +604,28 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 	_ = rc.EnableFullDuplex()
 	sw := &streamWriter{w: w, rc: rc}
 
-	res, err := s.engine.CleanCSVStreamContext(ctx, body, sw, marked)
+	var res repair.StreamResult
+	var err error
+	if ens {
+		res, err = s.engine.CleanCSVStreamEnsembleContext(ctx, body, sw, marked)
+	} else {
+		res, err = s.engine.CleanCSVStreamContext(ctx, body, sw, marked)
+	}
 	// Trailer values may only be set once the status line is out;
 	// setting them earlier would emit them as plain headers too.
 	setTrailers := func() {
 		w.Header().Set(TrailerRows, strconv.Itoa(res.Rows))
 		w.Header().Set(TrailerQuarantined, strconv.Itoa(res.Quarantined))
 		w.Header().Set(TrailerBudgetExhausted, strconv.Itoa(res.BudgetExhausted))
+		if ens {
+			mean := 1.0
+			if res.Rows > 0 {
+				mean = res.ConfidenceSum / float64(res.Rows)
+			}
+			w.Header().Set(TrailerConfidenceMean, strconv.FormatFloat(mean, 'f', 4, 64))
+			w.Header().Set(TrailerConfidenceMin, strconv.FormatFloat(res.MinConfidence, 'f', 4, 64))
+			w.Header().Set(TrailerConfidenceBelow, strconv.Itoa(res.BelowThreshold))
+		}
 	}
 	if err == nil {
 		// Success: commit whatever is still held back (a small or even
@@ -685,6 +766,9 @@ type StatsResponse struct {
 	// whole-tuple outcomes and per-cell evidence verdicts), likewise
 	// mirrored as detective_memo_* Prometheus series.
 	Memo repair.MemoStats `json:"memo"`
+	// EnsembleReliability maps each ensemble engine to its current
+	// reliability factor (omitted when ensemble mode is off).
+	EnsembleReliability map[string]float64 `json:"ensembleReliability,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -692,18 +776,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	ih, im, in := s.engine.Cat.IndexStats()
 	g := s.store.Graph() // pin: stats describe one coherent graph
 	writeJSON(w, StatsResponse{
-		Schema:         s.schema.Attrs,
-		Rules:          len(s.rules),
-		KB:             g.ComputeStats(5),
-		Repair:         s.engine.Stats(),
-		KBGeneration:   g.Generation(),
-		KBSwaps:        s.store.Swaps(),
-		KBRollbacks:    s.store.Rollbacks(),
-		KBHistory:      s.store.History(),
-		Breaker:        s.engine.BreakerStats(),
-		CandidateCache: CacheStats{Hits: ch, Misses: cm, Size: cn},
-		SignatureIndex: CacheStats{Hits: ih, Misses: im, Size: in},
-		Memo:           s.engine.MemoStats(),
+		Schema:              s.schema.Attrs,
+		Rules:               len(s.rules),
+		KB:                  g.ComputeStats(5),
+		Repair:              s.engine.Stats(),
+		KBGeneration:        g.Generation(),
+		KBSwaps:             s.store.Swaps(),
+		KBRollbacks:         s.store.Rollbacks(),
+		KBHistory:           s.store.History(),
+		Breaker:             s.engine.BreakerStats(),
+		CandidateCache:      CacheStats{Hits: ch, Misses: cm, Size: cn},
+		SignatureIndex:      CacheStats{Hits: ih, Misses: im, Size: in},
+		Memo:                s.engine.MemoStats(),
+		EnsembleReliability: s.engine.EnsembleReliability(),
 	})
 }
 

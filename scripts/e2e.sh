@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the detectived HTTP surfaces, in both
+# single-tenant and registry mode, against the checked-in sample KB.
+# Drives /healthz, /clean (plain and ?ensemble=1), /reload, /metrics,
+# and the /v1/{tenant}/... equivalents with curl, asserting response
+# bodies, JSON shapes, and the X-Clean-* trailers (including the
+# ensemble confidence trailers).
+#
+# Run from the repo root: ./scripts/e2e.sh (CI's e2e job does).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT=${E2E_PORT:-18080}
+OPS=${E2E_OPS_PORT:-18081}
+BASE="http://127.0.0.1:$PORT"
+OPSBASE="http://127.0.0.1:$OPS"
+BIN=$(mktemp -d)/detectived
+PID=""
+
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+fail() {
+  echo "e2e: FAIL: $*" >&2
+  exit 1
+}
+
+wait_ready() { # url
+  for _ in $(seq 1 100); do
+    curl -fsS -o /dev/null "$1" 2>/dev/null && return 0
+    sleep 0.2
+  done
+  fail "server at $1 never became ready"
+}
+
+stop_server() {
+  kill "$PID" 2>/dev/null || true
+  wait "$PID" 2>/dev/null || true
+  PID=""
+}
+
+# assert_contains haystack needle message
+assert_contains() {
+  case "$1" in
+  *"$2"*) ;;
+  *) fail "$3 (wanted \"$2\" in: $(printf '%s' "$1" | head -c 400))" ;;
+  esac
+}
+
+go build -o "$BIN" ./cmd/detectived
+
+echo "=== e2e: single-tenant mode ==="
+"$BIN" -kb testdata/sample_kb.nt -rules testdata/e2e/rules.dr \
+  -schema Name,Prize,Institution,City -name Nobel \
+  -addr "127.0.0.1:$PORT" -ops-addr "127.0.0.1:$OPS" \
+  -ensemble -ensemble-ref testdata/e2e/ref.csv \
+  -log-level warn &
+PID=$!
+wait_ready "$BASE/healthz"
+
+body=$(curl -fsS "$BASE/healthz")
+assert_contains "$body" "ok" "/healthz body"
+
+# Plain /clean: CSV out, repairs applied, stats in trailers. --raw
+# keeps the chunked framing so the trailer block is visible.
+out=$(curl -fsS --raw -X POST --data-binary @testdata/e2e/dirty.csv "$BASE/clean")
+assert_contains "$out" "Back Dromzais,Cist Prize in Chemistry,Jastrea Research Institute,Sturhaven" \
+  "plain /clean must repair City from the KB (worksAt + locatedIn)"
+assert_contains "$out" "Doundgrund Poulrin,Prios Prize in Chemistry" \
+  "plain /clean must repair Prize to the chemistry award"
+assert_contains "$out" "X-Clean-Rows: 2" "plain /clean trailer"
+case "$out" in
+*X-Clean-Confidence*) fail "plain /clean must not emit confidence trailers" ;;
+esac
+
+# Ensemble /clean: confidence column appended, confidence trailers.
+out=$(curl -fsS --raw -X POST --data-binary @testdata/e2e/dirty.csv "$BASE/clean?ensemble=1")
+assert_contains "$out" "confidence" "ensemble /clean header must add the confidence column"
+assert_contains "$out" "Jastrea Research Institute,Sturhaven,1.000" \
+  "ensemble /clean must carry per-row confidence"
+assert_contains "$out" "X-Clean-Rows: 2" "ensemble /clean rows trailer"
+assert_contains "$out" "X-Clean-Confidence-Mean: " "ensemble confidence-mean trailer"
+assert_contains "$out" "X-Clean-Confidence-Min: " "ensemble confidence-min trailer"
+assert_contains "$out" "X-Clean-Confidence-Below: " "ensemble confidence-below trailer"
+
+# /stats: JSON including the per-engine ensemble reliability map.
+curl -fsS "$BASE/stats" | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+assert "ensembleReliability" in d, d.keys()
+assert "detective" in d["ensembleReliability"], d["ensembleReliability"]
+'
+
+# /reload on the ops port stages a canary reload of the same KB file.
+out=$(curl -fsS -X POST "$OPSBASE/reload")
+python3 -c '
+import json, sys
+d = json.loads(sys.argv[1])
+assert d.get("generation", 0) >= 2, d
+assert d.get("triples", 0) > 0, d
+' "$out"
+
+# /metrics: Prometheus exposition with the ensemble counter series.
+metrics=$(curl -fsS "$OPSBASE/metrics")
+assert_contains "$metrics" "detective_ensemble_proposals_total" "ensemble proposals metric"
+assert_contains "$metrics" 'engine="detective"' "per-engine metric label"
+assert_contains "$metrics" "detective_kb_reload_total" "reload metric"
+
+stop_server
+echo "=== e2e: single-tenant mode OK ==="
+
+echo "=== e2e: registry mode ==="
+"$BIN" -registry testdata/e2e/tenants.json -warm all \
+  -addr "127.0.0.1:$PORT" -ops-addr "127.0.0.1:$OPS" \
+  -log-level warn &
+PID=$!
+wait_ready "$BASE/healthz"
+
+# Tenant alpha has ensemble enabled in tenants.json.
+out=$(curl -fsS --raw -X POST --data-binary @testdata/e2e/dirty.csv "$BASE/v1/alpha/clean?ensemble=1")
+assert_contains "$out" "confidence" "tenant ensemble /clean confidence column"
+assert_contains "$out" "Back Dromzais,Cist Prize in Chemistry,Jastrea Research Institute,Sturhaven" \
+  "tenant ensemble /clean must still repair City"
+assert_contains "$out" "X-Clean-Confidence-Mean: " "tenant ensemble confidence trailer"
+
+# Tenant beta inherits the defaults (no ensemble): plain clean works,
+# ?ensemble=1 is a 400.
+out=$(curl -fsS --raw -X POST --data-binary @testdata/e2e/dirty.csv "$BASE/v1/beta/clean")
+assert_contains "$out" "Doundgrund Poulrin,Prios Prize in Chemistry" "tenant beta plain /clean"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary @testdata/e2e/dirty.csv "$BASE/v1/beta/clean?ensemble=1")
+[ "$code" = 400 ] || fail "ensemble=1 on a non-ensemble tenant must 400, got $code"
+
+# Per-tenant reload on the ops port, then fleet status.
+out=$(curl -fsS -X POST "$OPSBASE/v1/alpha/reload")
+python3 -c '
+import json, sys
+d = json.loads(sys.argv[1])
+assert d.get("generation", 0) >= 2, d
+' "$out"
+curl -fsS "$OPSBASE/registry" | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+names = {t["name"] for t in d["tenants"]}
+assert {"alpha", "beta"} <= names, names
+'
+metrics=$(curl -fsS "$OPSBASE/metrics")
+assert_contains "$metrics" "detective_ensemble_accepted_total" "registry ensemble metrics"
+
+stop_server
+echo "=== e2e: registry mode OK ==="
+echo "e2e: PASS"
