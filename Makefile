@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet fmt-check test cover race fault chaos bench bench-smoke benchdiff snapshot-check metrics-check experiments examples e2e clean
+.PHONY: all build vet fmt-check test cover race fault chaos bench bench-smoke benchdiff snapshot-check delta-check metrics-check experiments examples e2e clean
 
 all: build vet fmt-check test
 
@@ -33,12 +33,14 @@ fault:
 # Chaos drills for the self-healing lifecycle, repeated under the race
 # detector: canary reload rejection (strict self-check, shadow replay),
 # watchdog auto-rollback under live traffic, reloads racing serving
-# traffic against corrupt/suspect candidates, circuit-breaker
-# trip/probe/recovery, and registry tenant churn (64 tenants through 8
-# residency slots with evictions racing in-flight requests).
+# traffic against corrupt/suspect candidates — full and incremental
+# delta alike (corrupt delta bytes, stale-base refusal, mixed
+# full/delta swaps under load) — circuit-breaker trip/probe/recovery,
+# and registry tenant churn (64 tenants through 8 residency slots with
+# evictions racing in-flight requests).
 chaos:
 	go test -race -count=3 -run 'TestFaultBreaker' ./internal/repair
-	go test -race -count=3 -run 'TestCanary|TestFaultCanary|TestRollback|TestReloadUnderLoad' ./internal/server
+	go test -race -count=3 -run 'TestCanary|TestFaultCanary|TestRollback|TestReloadUnderLoad|TestFaultDelta|TestDeltaCanary' ./internal/server
 	go test -race -count=3 -run 'TestLRUChurn|TestEvictionSkipsPinnedTenants|TestReadmissionAfterEviction' ./internal/registry
 
 bench:
@@ -75,6 +77,25 @@ snapshot-check:
 	go run ./cmd/kbtool info "$$tmp/a2.snap" >/dev/null && \
 	go run ./cmd/kbtool verify "$$tmp/a2.snap" && \
 	rm -rf "$$tmp" && echo "snapshot-check: OK"
+
+# Delta golden gate: diffing the checked-in old/new snapshot pair must
+# be byte-deterministic and match the committed golden delta, and
+# `diff | apply` must reproduce the directly-packed new snapshot
+# byte-for-byte. The committed .dkbs/.dkbsd binaries are themselves
+# regenerable from the canonical .nt sources (cross-checked here).
+delta-check:
+	@tmp="$$(mktemp -d)" && \
+	go run ./cmd/kbtool pack -v2 testdata/delta/old.nt "$$tmp/old.dkbs" && \
+	cmp "$$tmp/old.dkbs" testdata/delta/old.dkbs && \
+	go run ./cmd/kbtool pack -v2 testdata/delta/new.nt "$$tmp/new.dkbs" && \
+	cmp "$$tmp/new.dkbs" testdata/delta/new.dkbs && \
+	go run ./cmd/kbtool diff testdata/delta/old.dkbs testdata/delta/new.dkbs "$$tmp/a.dkbsd" && \
+	go run ./cmd/kbtool diff testdata/delta/old.dkbs testdata/delta/new.dkbs "$$tmp/b.dkbsd" && \
+	cmp "$$tmp/a.dkbsd" "$$tmp/b.dkbsd" && \
+	cmp "$$tmp/a.dkbsd" testdata/delta/old_to_new.dkbsd && \
+	go run ./cmd/kbtool apply -v2 testdata/delta/old.dkbs testdata/delta/old_to_new.dkbsd "$$tmp/applied.dkbs" && \
+	cmp "$$tmp/applied.dkbs" testdata/delta/new.dkbs && \
+	rm -rf "$$tmp" && echo "delta-check: OK"
 
 # Drives real traffic through an httptest server, scrapes the registry
 # the way the `-ops-addr` listener does, and validates the Prometheus

@@ -246,19 +246,27 @@ func main() {
 // /v1/{tenant}/..., LRU-resident up to the config's cap, with tenant
 // lifecycle and fleet status on the ops listener.
 func runRegistry(log *slog.Logger, cfgPath, warmSpec, addr, opsAddr string, drainTimeout time.Duration, baseCfg server.Config, ensembleOn bool, ensembleRef string, ensembleThreshold float64) {
-	cfg, err := registry.LoadConfig(cfgPath)
-	fail(log, err)
 	// The -ensemble flags become fleet-wide defaults that individual
-	// tenant configs may still override.
-	if ensembleOn {
-		cfg.Defaults.Ensemble = true
+	// tenant configs may still override; SIGHUP re-reads apply the
+	// same overlay so flag-driven defaults survive config reloads.
+	loadCfg := func() (*registry.Config, error) {
+		cfg, err := registry.LoadConfig(cfgPath)
+		if err != nil {
+			return nil, err
+		}
+		if ensembleOn {
+			cfg.Defaults.Ensemble = true
+		}
+		if ensembleRef != "" && cfg.Defaults.EnsembleRef == "" {
+			cfg.Defaults.EnsembleRef = ensembleRef
+		}
+		if ensembleThreshold != 0 && cfg.Defaults.EnsembleThreshold == 0 {
+			cfg.Defaults.EnsembleThreshold = ensembleThreshold
+		}
+		return cfg, nil
 	}
-	if ensembleRef != "" && cfg.Defaults.EnsembleRef == "" {
-		cfg.Defaults.EnsembleRef = ensembleRef
-	}
-	if ensembleThreshold != 0 && cfg.Defaults.EnsembleThreshold == 0 {
-		cfg.Defaults.EnsembleThreshold = ensembleThreshold
-	}
+	cfg, err := loadCfg()
+	fail(log, err)
 	reg, err := registry.New(*cfg, registry.Options{Logger: log, Server: baseCfg})
 	fail(log, err)
 
@@ -307,9 +315,20 @@ func runRegistry(log *slog.Logger, cfgPath, warmSpec, addr, opsAddr string, drai
 			slog.String("endpoints", "/metrics /debug/pprof/ GET /registry POST /v1/{tenant}/reload POST /v1/{tenant}/rollback"))
 	}
 
-	// SIGHUP canary-reloads every resident tenant from its configured
-	// source; non-resident tenants pick up new files on admission.
+	// SIGHUP re-reads the registry config itself — added, removed and
+	// edited tenants take effect without a restart — then canary-
+	// reloads every resident tenant from its configured source;
+	// non-resident tenants pick up new files on admission. A broken
+	// config file is logged and skipped so the running fleet (and the
+	// KB re-read) is never held hostage by a bad edit.
 	watchHUP(ctx, log, func() error {
+		if cfg, err := loadCfg(); err != nil {
+			log.Error("SIGHUP: registry config re-read failed; keeping current fleet",
+				slog.String("path", cfgPath), slog.Any("error", err))
+		} else if err := reg.ApplyConfig(*cfg); err != nil {
+			log.Error("SIGHUP: registry config rejected; keeping current fleet",
+				slog.String("path", cfgPath), slog.Any("error", err))
+		}
 		if err := reg.ReloadResident(); err != nil {
 			return err
 		}

@@ -22,6 +22,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -206,6 +208,38 @@ type benchResult struct {
 // (the same harness `go test -bench` uses) and writes the results as
 // JSON, so CI and humans can diff engine performance across commits
 // without parsing benchmark text output.
+// deltaBenchGraph mirrors internal/kb's benchGraph/churnedGraph pair:
+// the Nobel-4000-shaped synthetic KB (4000 persons over 200 cities,
+// three facts each) with the first churnedPersons persons edited —
+// one edge retargeted, one property value replaced, one edge added.
+// The KBApplyDelta* and KBReloadFull series run on this graph so the
+// delta-vs-full-reload ratio compares like with like.
+func deltaBenchGraph(churnedPersons int) *kb.Graph {
+	g := kb.New()
+	g.AddSubclass("scientist", "person")
+	g.AddSubclass("chemist", "scientist")
+	g.AddSubclass("city", "location")
+	classes := []string{"person", "scientist", "chemist"}
+	for i := 0; i < 200; i++ {
+		g.AddType("city-"+strconv.Itoa(i), "city")
+	}
+	for i := 0; i < 4000; i++ {
+		name := "person-" + strconv.Itoa(i)
+		g.AddType(name, classes[i%len(classes)])
+		if i < churnedPersons {
+			g.AddTriple(name, "bornIn", "city-"+strconv.Itoa((i+1)%200))
+			g.AddTriple(name, "worksIn", "city-"+strconv.Itoa((i*7)%200))
+			g.AddPropertyTriple(name, "bornOnDate", "20"+strconv.Itoa(10+i%90)+"-01-02")
+			g.AddTriple(name, "livesIn", "city-"+strconv.Itoa(i%200))
+		} else {
+			g.AddTriple(name, "bornIn", "city-"+strconv.Itoa(i%200))
+			g.AddTriple(name, "worksIn", "city-"+strconv.Itoa((i*7)%200))
+			g.AddPropertyTriple(name, "bornOnDate", "19"+strconv.Itoa(10+i%90)+"-01-02")
+		}
+	}
+	return g
+}
+
 func writeRepairBench(path string) error {
 	// Fail on an unwritable path before spending a minute benchmarking.
 	f, err := os.Create(path)
@@ -466,6 +500,59 @@ func writeRepairBench(path string) error {
 			}
 		})),
 	)
+
+	// Incremental DKBD deltas on the Nobel-4000-shaped synthetic graph
+	// (internal/kb's bench pair): KBReloadFull is what a full
+	// POST /reload of the same snapshot pays before it serves — mmap
+	// plus Freeze, which Store.Swap always runs — and KBApplyDelta* is
+	// the copy-on-write apply POST /reload?delta=1 pays at ~1% and
+	// ~10% churn. KBApplyDeltaSmall staying ≥10× under KBReloadFull is
+	// the headline gated by benchdiff.
+	// The engines and registry above stay reachable until here; clear
+	// the heap before the load-vs-delta series so GC assist built up
+	// by 30s of prior benchmarks doesn't skew either side.
+	runtime.GC()
+	var deltaSnapBuf bytes.Buffer
+	if err := deltaBenchGraph(0).WriteSnapshotV2(&deltaSnapBuf); err != nil {
+		return err
+	}
+	deltaSnapPath := filepath.Join(benchDir, "delta-base.v2.dkbs")
+	if err := os.WriteFile(deltaSnapPath, deltaSnapBuf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	results = append(results, record("KBReloadFull", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, err := kb.LoadSnapshotFile(deltaSnapPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Freeze()
+		}
+	})))
+	deltaBase, err := kb.LoadSnapshotFile(deltaSnapPath)
+	if err != nil {
+		return err
+	}
+	deltaBase.Freeze()
+	deltaBase.Fingerprint() // pre-warm like a served graph
+	for _, dc := range []struct {
+		name    string
+		churned int
+	}{
+		{"KBApplyDeltaSmall", 40},
+		{"KBApplyDeltaLarge", 400},
+	} {
+		d := kb.Diff(deltaBase, deltaBenchGraph(dc.churned))
+		results = append(results, record(dc.name, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := deltaBase.ApplyDelta(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+	}
 
 	// Tenant cold admission, end to end: two tenants thrash a
 	// residency cap of 1, so every resolve is a full cold admission —

@@ -9,6 +9,17 @@
 //	kbtool info kb.snap                    # DKBS section table
 //	kbtool verify kb.snap                  # header + checksums + stats
 //	kbtool verify -deep kb.snap            # + structural integrity pass
+//	kbtool diff old.snap new.snap > d.dkbsd   # incremental delta (DKBD)
+//	kbtool apply -v2 old.snap d.dkbsd new.snap  # re-create new from delta
+//
+// diff emits the canonical DKBD delta between two KB contents — the
+// triples, type assertions and subclass edges to remove and add, keyed
+// by node name. Inputs may be snapshots (either version) or text; equal
+// contents always diff to identical bytes. apply replays a delta onto a
+// base KB, verifies the result's content fingerprint against the
+// delta's promise, and writes the re-canonicalized result — for a
+// canonical-text source, `diff | apply` is byte-identical to packing
+// the new KB directly (CI's delta-check gate holds this).
 //
 // pack -v2 writes the page-aligned, pointer-free DKBS v2 layout that
 // detectived maps read-only into memory and serves in place (near-zero
@@ -33,6 +44,8 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -62,6 +75,11 @@ func main() {
 		os.Exit(runInfo(flag.Args()[1:], os.Stdout, os.Stderr))
 	case "verify":
 		os.Exit(runVerify(flag.Args()[1:], os.Stdout, os.Stderr))
+	case "diff":
+		runDiff(flag.Args()[1:])
+		return
+	case "apply":
+		os.Exit(runApply(flag.Args()[1:], os.Stderr))
 	}
 
 	if *kbPath == "" || flag.NArg() == 0 {
@@ -148,6 +166,116 @@ func pack(args []string) {
 	}
 	fail(bw.Flush())
 	fail(w.Close())
+}
+
+// loadAny loads a KB from path in whichever format it carries: DKBS
+// snapshots (either version) are recognized by magic, anything else is
+// parsed as the text triple format.
+func loadAny(path string) *detective.KB {
+	r := openIn(path)
+	defer r.Close()
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(4); err == nil && string(magic) == "DKBS" {
+		g, err := detective.LoadKBSnapshot(br)
+		fail(err)
+		return g
+	}
+	g, err := detective.ParseKB(br)
+	fail(err)
+	return g
+}
+
+// runDiff implements `kbtool diff OLD NEW [DELTA.dkbsd]`: the
+// canonical DKBD delta from OLD's content to NEW's, written to the
+// third argument or stdout. A one-line summary goes to stderr.
+func runDiff(args []string) {
+	var paths []string
+	for _, a := range args {
+		if a != "" {
+			paths = append(paths, a)
+		}
+	}
+	if len(paths) != 2 && len(paths) != 3 {
+		fail(fmt.Errorf("usage: kbtool diff OLD NEW [DELTA.dkbsd]"))
+	}
+	oldG := loadAny(paths[0])
+	newG := loadAny(paths[1])
+	d := detective.DiffKB(oldG, newG)
+	out := "-"
+	if len(paths) == 3 {
+		out = paths[2]
+	}
+	w := createOut(out)
+	bw := bufio.NewWriter(w)
+	fail(d.Write(bw))
+	fail(bw.Flush())
+	fail(w.Close())
+	fmt.Fprintln(os.Stderr, "kbtool:", d)
+}
+
+// runApply implements `kbtool apply [-v2] BASE DELTA.dkbsd OUT.snap`:
+// replay DELTA onto BASE, fully re-verify the result's content
+// fingerprint against the delta's promise, and write the result
+// re-canonicalized — same node order as a fresh pack of the new
+// content's canonical text, so for canonical sources the output is
+// byte-identical to packing the new KB directly. Exit codes follow
+// verify's convention: 3 for a corrupt delta file, 5 for a delta whose
+// base content does not match BASE.
+func runApply(args []string, errw io.Writer) int {
+	v2 := false
+	var paths []string
+	for _, a := range args {
+		switch {
+		case a == "-v2" || a == "--v2":
+			v2 = true
+		default:
+			paths = append(paths, a)
+		}
+	}
+	if len(paths) != 3 {
+		fmt.Fprintln(errw, "usage: kbtool apply [-v2] BASE DELTA.dkbsd OUT.snap")
+		return 2
+	}
+	base := loadAny(paths[0])
+	r := openIn(paths[1])
+	d, err := detective.ReadKBDelta(bufio.NewReader(r))
+	r.Close()
+	if err != nil {
+		fmt.Fprintln(errw, "kbtool: corrupt delta:", err)
+		return 3
+	}
+	applied, err := base.ApplyDelta(d)
+	if err != nil {
+		if errors.Is(err, kb.ErrDeltaBaseMismatch) {
+			fmt.Fprintln(errw, "kbtool: delta does not apply:", err)
+			return 5
+		}
+		fmt.Fprintln(errw, "kbtool:", err)
+		return 1
+	}
+	// Re-canonicalize through the text encoding: a fresh parse assigns
+	// the canonical node order (the applied graph keeps the base's,
+	// plus orphans) and recomputes the fingerprint from scratch — a
+	// full end-to-end verification, not just the incremental check
+	// ApplyDelta already did.
+	var buf bytes.Buffer
+	fail(applied.Encode(&buf))
+	canon, err := detective.ParseKB(&buf)
+	fail(err)
+	if fp := canon.Fingerprint(); fp != d.NewFP {
+		fmt.Fprintf(errw, "kbtool: applied content fingerprint %016x does not match the delta's promised %016x\n", fp, d.NewFP)
+		return 1
+	}
+	w := createOut(paths[2])
+	bw := bufio.NewWriter(w)
+	if v2 {
+		fail(canon.WriteSnapshotV2(bw))
+	} else {
+		fail(detective.WriteKBSnapshot(bw, canon))
+	}
+	fail(bw.Flush())
+	fail(w.Close())
+	return 0
 }
 
 // runInfo implements `kbtool info KB.snap`: the DKBS section table —

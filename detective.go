@@ -133,6 +133,22 @@ type KBStore = kb.Store
 // NewKBStore wraps g (frozen) in a swappable store.
 func NewKBStore(g *KB) *KBStore { return kb.NewStore(g) }
 
+// KBDelta is the parsed form of a DKBD incremental delta file: the
+// canonical, name-keyed difference between two KB contents. Deltas are
+// produced by DiffKB (or `kbtool diff`) and applied copy-on-write to a
+// live graph by KB.ApplyDelta or KBStore.ApplyDelta, sharing every
+// untouched arena with the base generation.
+type KBDelta = kb.Delta
+
+// DiffKB computes the canonical delta that transforms old's content
+// into new's. Output is deterministic: equal contents diff to equal
+// bytes regardless of either graph's storage form or ID assignment.
+func DiffKB(old, new *KB) *KBDelta { return kb.Diff(old, new) }
+
+// ReadKBDelta parses a DKBD delta file, verifying magic, framing and
+// every section checksum.
+func ReadKBDelta(r io.Reader) (*KBDelta, error) { return kb.ReadDelta(r) }
+
 // NewSchema creates a relation schema; attribute names must be unique.
 func NewSchema(name string, attrs ...string) *Schema {
 	return relation.NewSchema(name, attrs...)

@@ -14,6 +14,7 @@ package kb
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // ID is a dense interned identifier for a node (instance, class or
@@ -86,6 +87,9 @@ type Graph struct {
 	nameBlob                                     string    // concatenated name bytes
 	nameOffs                                     []uint32  // node i's name = nameBlob[nameOffs[i]:nameOffs[i+1]]
 	nameTab                                      nameTable // open-addressing name -> ID index
+	nameExtBlob                                  string    // names of delta-added nodes (see delta.go)
+	nameExtOffs                                  []uint32  // local offsets; node len(nameOffs)-1+i = nameExtBlob[nameExtOffs[i]:nameExtOffs[i+1]]
+	nameExtTab                                   nameTable // name -> LOCAL ext index (global = local + len(nameOffs)-1)
 	typesIdx, instOfIdx, superOfIdx, subOfIdx    idListIndex
 	nTypeKeys, nInstOfKeys, nSuperKeys, nSubKeys int
 	mapped                                       *mapping // non-nil when the arenas live in an mmap'd file
@@ -103,6 +107,8 @@ type Graph struct {
 	instClosure  map[ID][]ID        // class -> all instances (incl. via subclasses)
 	typeClosure  map[ID]map[ID]bool // instance -> all classes (incl. superclasses)
 	literalClass ID                 // interned "literal" pseudo-class
+
+	fp atomic.Pointer[fpMemo] // cached content fingerprint; see delta.go
 }
 
 // LiteralClass is the reserved type name that matches any literal
@@ -184,13 +190,25 @@ func (g *Graph) Lookup(name string) ID {
 		}
 		return Invalid
 	}
-	return g.nameTab.lookup(g.nameBlob, g.nameOffs, name)
+	if id := g.nameTab.lookup(g.nameBlob, g.nameOffs, name); id != Invalid {
+		return id
+	}
+	if g.nameExtOffs != nil {
+		if local := g.nameExtTab.lookup(g.nameExtBlob, g.nameExtOffs, name); local != Invalid {
+			return local + ID(len(g.nameOffs)-1)
+		}
+	}
+	return Invalid
 }
 
 // Name returns the string form of id. It panics on Invalid.
 func (g *Graph) Name(id ID) string {
 	if g.names != nil {
 		return g.names[id]
+	}
+	if base := len(g.nameOffs) - 1; int(id) >= base {
+		local := int(id) - base
+		return g.nameExtBlob[g.nameExtOffs[local]:g.nameExtOffs[local+1]]
 	}
 	return g.nameBlob[g.nameOffs[id]:g.nameOffs[id+1]]
 }

@@ -164,7 +164,7 @@ func (g *Graph) Encode(w io.Writer) error {
 	}
 
 	lines = lines[:0]
-	for s := range g.out.spans {
+	for s := 0; s < g.NumNodes(); s++ {
 		for _, e := range g.out.view(ID(s)) {
 			if g.kinds[e.To] == KindLiteral {
 				lines = append(lines, fmt.Sprintf("<%s> <%s> %q .", g.Name(ID(s)), g.Name(e.Pred), g.Name(e.To)))

@@ -102,13 +102,11 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 		nameBytes += len(g.Name(ID(i)))
 	}
 	lenOut, lenIn := 0, 0
-	for _, s := range g.out.spans {
-		if s.n > 0 {
+	for i := 0; i < numNodes; i++ {
+		if len(g.out.view(ID(i))) > 0 {
 			lenOut++
 		}
-	}
-	for _, s := range g.in.spans {
-		if s.n > 0 {
+		if len(g.in.view(ID(i))) > 0 {
 			lenIn++
 		}
 	}
@@ -171,10 +169,10 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 
-	if err := writeSection(bw, secTriples, encodeEdgeIndex(&g.out, lenOut, g.tripleCount)); err != nil {
+	if err := writeSection(bw, secTriples, encodeEdgeIndex(&g.out, numNodes, lenOut, g.tripleCount)); err != nil {
 		return err
 	}
-	if err := writeSection(bw, secTriplesIn, encodeEdgeIndex(&g.in, lenIn, g.tripleCount)); err != nil {
+	if err := writeSection(bw, secTriplesIn, encodeEdgeIndex(&g.in, numNodes, lenIn, g.tripleCount)); err != nil {
 		return err
 	}
 
@@ -187,11 +185,11 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 // encodeEdgeIndex serializes an edge index (out or in) in ascending
 // key order, keys without edges omitted, each key's edges sorted by
 // (Pred, To) — the canonical shape of the two triples sections.
-func encodeEdgeIndex(x *edgeIndex, numKeys, tripleCount int) []byte {
+func encodeEdgeIndex(x *edgeIndex, numNodes, numKeys, tripleCount int) []byte {
 	b := make([]byte, 0, tripleCount*4)
 	b = binary.AppendUvarint(b, uint64(numKeys))
 	var edges []Edge
-	for k := range x.spans {
+	for k := 0; k < numNodes; k++ {
 		es := x.view(ID(k))
 		if len(es) == 0 {
 			continue

@@ -395,14 +395,19 @@ func canonEdges(x *edgeIndex, numNodes int) (spans []pairSpan, edges []Edge) {
 // ascending order (deterministic slot placement), values sorted
 // ascending, arena packed with no dead ranges.
 func canonPairTable(t *pairTable) (keys []uint64, spans []pairSpan, ids []ID, used int) {
-	ks := make([]uint64, 0, t.used)
+	nt := flattenPairTable(t)
+	return nt.keys, nt.spans, nt.ids, nt.used
+}
+
+// flattenPairTable rebuilds t (flat or COW overlay chain) as a single
+// canonical flat table.
+func flattenPairTable(t *pairTable) *pairTable {
+	ks := make([]uint64, 0, t.len())
 	total := 0
-	for i, k := range t.keys {
-		if k != 0 {
-			ks = append(ks, k)
-			total += int(t.spans[i].n)
-		}
-	}
+	t.forEachKey(func(k uint64) {
+		ks = append(ks, k)
+		total += len(t.get(k))
+	})
 	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
 	nt := newPairTable(len(ks), total)
 	var vals []ID
@@ -411,7 +416,7 @@ func canonPairTable(t *pairTable) (keys []uint64, spans []pairSpan, ids []ID, us
 		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 		nt.put(k, vals)
 	}
-	return nt.keys, nt.spans, nt.ids, nt.used
+	return nt
 }
 
 // Raw little-endian serializers. The writer always emits LE so files

@@ -56,8 +56,8 @@ func (g *Graph) ComputeStats(topN int) Stats {
 		s.TypeAssertions += len(classes)
 	})
 	subjects := 0
-	for _, sp := range g.out.spans {
-		if sp.n > 0 {
+	for i := 0; i < g.NumNodes(); i++ {
+		if len(g.out.view(ID(i))) > 0 {
 			subjects++
 		}
 	}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"reflect"
 	"regexp"
 	"sort"
 	"sync"
@@ -210,7 +211,7 @@ type Registry struct {
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
-	names   []string // sorted, immutable after New
+	names   []string // sorted; replaced wholesale by ApplyConfig
 	clock   int64    // LRU clock, bumped per touch
 
 	resident *telemetry.Gauge
@@ -241,33 +242,13 @@ func New(cfg Config, opts Options) (*Registry, error) {
 	}
 	for _, tc := range cfg.Tenants {
 		tc = tc.merged(cfg.Defaults)
-		if !tenantNameRE.MatchString(tc.Name) {
-			return nil, fmt.Errorf("registry: invalid tenant name %q", tc.Name)
+		if err := validateTenant(tc); err != nil {
+			return nil, err
 		}
 		if _, dup := r.tenants[tc.Name]; dup {
 			return nil, fmt.Errorf("registry: duplicate tenant %q", tc.Name)
 		}
-		if tc.Snapshot == "" && tc.KBText == "" {
-			return nil, fmt.Errorf("registry: tenant %q has no KB source (snapshot or kbText)", tc.Name)
-		}
-		if tc.Rules == "" {
-			return nil, fmt.Errorf("registry: tenant %q has no rules file", tc.Name)
-		}
-		if len(tc.Schema) == 0 {
-			return nil, fmt.Errorf("registry: tenant %q has no schema", tc.Name)
-		}
-		lbl := telemetry.Label{Name: "tenant", Value: tc.Name}
-		r.tenants[tc.Name] = &tenant{
-			cfg: tc,
-			requests: opts.Metrics.Counter("detective_tenant_requests_total",
-				"Requests resolved to this tenant (resident or admitting).", lbl),
-			admissions: opts.Metrics.Counter("detective_tenant_admissions_total",
-				"Cold admissions: the tenant's KB was loaded and its server built.", lbl),
-			evictions: opts.Metrics.Counter("detective_tenant_evictions_total",
-				"Evictions: the tenant's server and KB were dropped from residency.", lbl),
-			loadSecs: opts.Metrics.Gauge("detective_tenant_kb_load_seconds",
-				"Wall-clock seconds of the tenant's most recent cold KB load.", lbl),
-		}
+		r.tenants[tc.Name] = r.newTenant(tc)
 		r.names = append(r.names, tc.Name)
 	}
 	sort.Strings(r.names)
@@ -275,15 +256,142 @@ func New(cfg Config, opts Options) (*Registry, error) {
 		"Tenants currently holding a loaded KB and engine.")
 	opts.Metrics.GaugeFunc("detective_tenants_configured",
 		"Tenants in the registry configuration.",
-		func() float64 { return float64(len(r.names)) })
+		func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(len(r.names))
+		})
 	return r, nil
 }
 
-// TenantNames implements server.TenantResolver.
-func (r *Registry) TenantNames() []string { return r.names }
+// validateTenant checks one merged tenant config the way New always
+// has; ApplyConfig runs the same checks before touching the fleet.
+func validateTenant(tc TenantConfig) error {
+	if !tenantNameRE.MatchString(tc.Name) {
+		return fmt.Errorf("registry: invalid tenant name %q", tc.Name)
+	}
+	if tc.Snapshot == "" && tc.KBText == "" {
+		return fmt.Errorf("registry: tenant %q has no KB source (snapshot or kbText)", tc.Name)
+	}
+	if tc.Rules == "" {
+		return fmt.Errorf("registry: tenant %q has no rules file", tc.Name)
+	}
+	if len(tc.Schema) == 0 {
+		return fmt.Errorf("registry: tenant %q has no schema", tc.Name)
+	}
+	return nil
+}
+
+// newTenant builds the tenant struct and its labeled metrics. The
+// telemetry registry dedupes by name+label, so re-creating a tenant
+// under the same name (ApplyConfig) reattaches the existing series.
+func (r *Registry) newTenant(tc TenantConfig) *tenant {
+	lbl := telemetry.Label{Name: "tenant", Value: tc.Name}
+	return &tenant{
+		cfg: tc,
+		requests: r.metrics.Counter("detective_tenant_requests_total",
+			"Requests resolved to this tenant (resident or admitting).", lbl),
+		admissions: r.metrics.Counter("detective_tenant_admissions_total",
+			"Cold admissions: the tenant's KB was loaded and its server built.", lbl),
+		evictions: r.metrics.Counter("detective_tenant_evictions_total",
+			"Evictions: the tenant's server and KB were dropped from residency.", lbl),
+		loadSecs: r.metrics.Gauge("detective_tenant_kb_load_seconds",
+			"Wall-clock seconds of the tenant's most recent cold KB load.", lbl),
+	}
+}
+
+// ApplyConfig reconciles the fleet against a re-read configuration
+// file — the SIGHUP path in registry mode, which previously re-read
+// only tenant KB files and silently ignored tenants.json edits.
+// Unchanged tenants keep their structs, residency and parsed rules;
+// tenants with edited configs are rebuilt cold on their next
+// admission; removed tenants are dropped (in-flight requests finish
+// on the server they already hold); added tenants become admittable.
+// The whole config is validated before anything is touched, so a bad
+// file changes nothing.
+func (r *Registry) ApplyConfig(cfg Config) error {
+	if len(cfg.Tenants) == 0 {
+		return fmt.Errorf("registry: no tenants configured")
+	}
+	merged := make([]TenantConfig, 0, len(cfg.Tenants))
+	seen := make(map[string]bool, len(cfg.Tenants))
+	for _, tc := range cfg.Tenants {
+		tc = tc.merged(cfg.Defaults)
+		if err := validateTenant(tc); err != nil {
+			return err
+		}
+		if seen[tc.Name] {
+			return fmt.Errorf("registry: duplicate tenant %q", tc.Name)
+		}
+		seen[tc.Name] = true
+		merged = append(merged, tc)
+	}
+	maxRes := cfg.MaxResident
+	if maxRes <= 0 {
+		maxRes = 8
+	}
+
+	r.mu.Lock()
+	var added, updated, removed []string
+	next := make(map[string]*tenant, len(merged))
+	names := make([]string, 0, len(merged))
+	for _, tc := range merged {
+		old := r.tenants[tc.Name]
+		switch {
+		case old == nil:
+			next[tc.Name] = r.newTenant(tc)
+			added = append(added, tc.Name)
+		case reflect.DeepEqual(old.cfg, tc):
+			next[tc.Name] = old
+		default:
+			// A fresh struct resets the once-parsed rules/schema and
+			// residency; the old server stays valid for requests that
+			// already resolved it.
+			next[tc.Name] = r.newTenant(tc)
+			updated = append(updated, tc.Name)
+		}
+		names = append(names, tc.Name)
+	}
+	for name := range r.tenants {
+		if next[name] == nil {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(names)
+	r.tenants = next
+	r.names = names
+	r.maxRes = maxRes
+	r.evictOverCapLocked(nil)
+	res := r.residentCountLocked()
+	r.resident.Set(float64(res))
+	r.mu.Unlock()
+
+	sort.Strings(added)
+	sort.Strings(updated)
+	sort.Strings(removed)
+	r.log.Info("registry config applied",
+		slog.Int("tenants", len(names)),
+		slog.Int("resident", res),
+		slog.Any("added", added),
+		slog.Any("updated", updated),
+		slog.Any("removed", removed))
+	return nil
+}
+
+// TenantNames implements server.TenantResolver. The returned slice is
+// a copy: ApplyConfig can replace the fleet at any time.
+func (r *Registry) TenantNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.names...)
+}
 
 // MaxResident returns the residency cap.
-func (r *Registry) MaxResident() int { return r.maxRes }
+func (r *Registry) MaxResident() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.maxRes
+}
 
 // Tenant implements server.TenantResolver: it returns name's server,
 // cold-admitting the tenant if needed, plus a release func that
@@ -529,10 +637,10 @@ func (r *Registry) TenantLoader(name string) func() (*kb.Graph, error) {
 // fresh process can pre-load its hot set before taking traffic.
 func (r *Registry) Warm(names ...string) error {
 	if len(names) == 0 {
-		names = r.names
+		names = r.TenantNames()
 	}
-	if len(names) > r.maxRes {
-		names = names[:r.maxRes]
+	if max := r.MaxResident(); len(names) > max {
+		names = names[:max]
 	}
 	var firstErr error
 	for _, n := range names {

@@ -2,6 +2,7 @@ package registry_test
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -502,5 +503,72 @@ func TestAdmissionFailureIs503(t *testing.T) {
 	}
 	if env.Error.Status != http.StatusServiceUnavailable {
 		t.Fatalf("envelope = %+v", env)
+	}
+}
+
+func TestApplyConfig(t *testing.T) {
+	cfg := fleetConfig(t, 3, 2)
+	r := newRegistry(t, cfg)
+	if err := r.Warm("tenant-00", "tenant-01"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reshape the fleet: drop tenant-02, add tenant-99, edit
+	// tenant-01's concurrency, raise the residency cap.
+	next := cfg
+	next.MaxResident = 3
+	next.Tenants = append([]registry.TenantConfig(nil), cfg.Tenants[:2]...)
+	next.Tenants[1].MaxConcurrent = 7
+	next.Tenants = append(next.Tenants, registry.TenantConfig{Name: "tenant-99"})
+	if err := r.ApplyConfig(next); err != nil {
+		t.Fatal(err)
+	}
+
+	names := r.TenantNames()
+	want := []string{"tenant-00", "tenant-01", "tenant-99"}
+	if len(names) != len(want) {
+		t.Fatalf("TenantNames = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("TenantNames = %v, want %v", names, want)
+		}
+	}
+	if got := r.MaxResident(); got != 3 {
+		t.Fatalf("MaxResident = %d, want 3", got)
+	}
+
+	st := r.Stats()
+	for _, tn := range st.Tenants {
+		switch tn.Name {
+		case "tenant-00":
+			if !tn.Resident {
+				t.Fatal("unchanged tenant-00 lost residency across ApplyConfig")
+			}
+		case "tenant-01":
+			if tn.Resident {
+				t.Fatal("edited tenant-01 should be rebuilt cold on next admission")
+			}
+		}
+	}
+
+	// Removed, edited and added tenants behave accordingly.
+	if _, _, err := r.Tenant("tenant-02"); !errors.Is(err, server.ErrUnknownTenant) {
+		t.Fatalf("removed tenant-02: err = %v, want ErrUnknownTenant", err)
+	}
+	for _, name := range []string{"tenant-01", "tenant-99"} {
+		_, release, err := r.Tenant(name)
+		if err != nil {
+			t.Fatalf("tenant %s after ApplyConfig: %v", name, err)
+		}
+		release()
+	}
+
+	// A bad config changes nothing.
+	if err := r.ApplyConfig(registry.Config{}); err == nil {
+		t.Fatal("ApplyConfig(empty) should fail")
+	}
+	if got := len(r.TenantNames()); got != 3 {
+		t.Fatalf("fleet size after rejected config = %d, want 3", got)
 	}
 }

@@ -59,6 +59,45 @@ type CanaryReport struct {
 func (s *Server) StageReloadKB(g *kb.Graph, loadTime time.Duration) (int64, *CanaryReport, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	return s.stageLocked(g, loadTime)
+}
+
+// StageReloadDelta is StageReloadKB for an incremental DKBD delta: the
+// delta is applied copy-on-write against the currently served graph —
+// untouched span-arena pages and pair-table shards are shared, only
+// touched buckets are rewritten — and the resulting candidate
+// generation runs the exact same canary pipeline (integrity
+// self-check, shadow replay, watchdog) before promotion. A delta whose
+// base fingerprint does not match the serving graph returns
+// kb.ErrDeltaBaseMismatch without perturbing anything.
+func (s *Server) StageReloadDelta(d *kb.Delta) (int64, *CanaryReport, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	start := time.Now()
+	g, err := s.store.Graph().ApplyDelta(d)
+	if err != nil {
+		s.log.Error("kb delta apply failed; keeping current graph", "error", err)
+		return 0, nil, err
+	}
+	applyTime := time.Since(start)
+	gen, rep, err := s.stageLocked(g, applyTime)
+	if err != nil {
+		return gen, rep, err
+	}
+	s.deltaAppliedTotal.Inc()
+	s.deltaTriplesTotal.Add(int64(d.TriplesTouched()))
+	s.deltaApplySeconds.Set(applyTime.Seconds())
+	s.log.Info("kb delta promoted",
+		"generation", gen,
+		"ops", d.Ops(),
+		"triples_touched", d.TriplesTouched(),
+		"apply_seconds", applyTime.Seconds())
+	return gen, rep, nil
+}
+
+// stageLocked is the canary pipeline body shared by StageReloadKB and
+// StageReloadDelta; the caller holds reloadMu.
+func (s *Server) stageLocked(g *kb.Graph, loadTime time.Duration) (int64, *CanaryReport, error) {
 	s.canaryStagedTotal.Inc()
 	rep := &CanaryReport{}
 

@@ -53,6 +53,12 @@ type reloadResponse struct {
 	LoadSeconds float64 `json:"loadSeconds"`
 	Nodes       int     `json:"nodes"`
 	Triples     int     `json:"triples"`
+	// Delta reports whether this reload applied an incremental DKBD
+	// delta (POST /reload?delta=1) rather than re-reading the full KB
+	// file; DeltaOps is the number of ops the delta carried. For delta
+	// reloads LoadSeconds is the copy-on-write apply time.
+	Delta    bool `json:"delta,omitempty"`
+	DeltaOps int  `json:"deltaOps,omitempty"`
 	// Canary carries the integrity-check and shadow-replay results the
 	// staged reload based its promote/reject decision on.
 	Canary *CanaryReport `json:"canary,omitempty"`
@@ -71,6 +77,10 @@ func (s *Server) ReloadHandler(load func() (*kb.Graph, error)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if r.URL.Query().Get("delta") == "1" {
+			s.handleDeltaReload(w, r)
 			return
 		}
 		start := time.Now()
@@ -103,5 +113,52 @@ func (s *Server) ReloadHandler(load func() (*kb.Graph, error)) http.Handler {
 			Triples:     g.NumTriples(),
 			Canary:      rep,
 		})
+	})
+}
+
+// handleDeltaReload serves POST /reload?delta=1: the request body is a
+// DKBD delta (kbtool diff old.dkbs new.dkbs) applied copy-on-write
+// against the serving graph, then staged through the same canary
+// pipeline as a full reload. A malformed body answers 400, a delta
+// built against a different base graph — or a canary rejection — 409,
+// and every failure leaves the serving graph untouched.
+func (s *Server) handleDeltaReload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	d, err := kb.ReadDelta(body)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.tooLargeTotal.Inc()
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.log.Error("kb delta reload: bad body; keeping current graph",
+			"error", err,
+			"request_id", telemetry.RequestID(r.Context()))
+		writeError(w, status, "reading delta: %v", err)
+		return
+	}
+	gen, rep, err := s.StageReloadDelta(d)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrCanaryRejected) || errors.Is(err, kb.ErrDeltaBaseMismatch) {
+			status = http.StatusConflict
+		}
+		s.log.Error("kb delta reload rejected; keeping current graph",
+			"error", err,
+			"request_id", telemetry.RequestID(r.Context()))
+		writeError(w, status, "delta reload rejected: %v", err)
+		return
+	}
+	g := s.store.Graph()
+	writeJSON(w, reloadResponse{
+		Generation:  gen,
+		Swaps:       s.store.Swaps(),
+		LoadSeconds: s.deltaApplySeconds.Value(),
+		Nodes:       g.NumNodes(),
+		Triples:     g.NumTriples(),
+		Delta:       true,
+		DeltaOps:    d.Ops(),
+		Canary:      rep,
 	})
 }

@@ -235,6 +235,13 @@ type Server struct {
 	reloadTotal *telemetry.Counter // completed KB hot-swaps
 	loadSeconds *telemetry.Gauge   // wall time of the last KB load
 
+	// Incremental (DKBD) delta reload accounting: promoted delta
+	// applies, the triple ops they carried, and the wall time of the
+	// most recent copy-on-write apply.
+	deltaAppliedTotal *telemetry.Counter
+	deltaTriplesTotal *telemetry.Counter
+	deltaApplySeconds *telemetry.Gauge
+
 	// Self-healing lifecycle (canary.go): the integrity self-check mode
 	// for candidate graphs, the sampled ring of recent input rows the
 	// canary replays, and the rollback/canary accounting.
@@ -312,6 +319,12 @@ func NewWithStore(drs []*rules.DR, store *kb.Store, schema *relation.Schema, cfg
 		"Knowledge-base hot-swaps completed (ReloadKB / POST /reload / SIGHUP).", labels...)
 	s.loadSeconds = reg.Gauge("detective_kb_load_seconds",
 		"Wall-clock seconds the most recent KB load (parse or snapshot decode) took.", labels...)
+	s.deltaAppliedTotal = reg.Counter("detective_kb_delta_applied",
+		"Incremental DKBD deltas applied copy-on-write and promoted.", labels...)
+	s.deltaTriplesTotal = reg.Counter("detective_kb_delta_triples",
+		"Triple add/remove operations carried by promoted deltas.", labels...)
+	s.deltaApplySeconds = reg.Gauge("detective_kb_delta_apply_seconds",
+		"Wall-clock seconds the most recent copy-on-write delta apply took.", labels...)
 	s.canaryStagedTotal = reg.Counter("detective_kb_canary_staged_total",
 		"Candidate graphs considered by the staged (canary) reload.", labels...)
 	s.canaryRejectedTotal = reg.Counter("detective_kb_canary_rejected_total",
@@ -754,6 +767,13 @@ type StatsResponse struct {
 	// rollback candidates, newest first.
 	KBRollbacks int64        `json:"kbRollbacks"`
 	KBHistory   []kb.GenInfo `json:"kbHistory,omitempty"`
+	// KBDeltasApplied counts promoted incremental (DKBD) delta
+	// reloads, KBDeltaTriples the triple ops they carried, and
+	// KBDeltaApplySeconds the wall time of the most recent
+	// copy-on-write apply (0 until a delta has been applied).
+	KBDeltasApplied     int64   `json:"kbDeltasApplied"`
+	KBDeltaTriples      int64   `json:"kbDeltaTriples"`
+	KBDeltaApplySeconds float64 `json:"kbDeltaApplySeconds"`
 	// Breaker is the repair circuit breaker's state (Enabled false
 	// when the breaker is not configured).
 	Breaker repair.BreakerStats `json:"breaker"`
@@ -784,6 +804,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		KBSwaps:             s.store.Swaps(),
 		KBRollbacks:         s.store.Rollbacks(),
 		KBHistory:           s.store.History(),
+		KBDeltasApplied:     s.deltaAppliedTotal.Value(),
+		KBDeltaTriples:      s.deltaTriplesTotal.Value(),
+		KBDeltaApplySeconds: s.deltaApplySeconds.Value(),
 		Breaker:             s.engine.BreakerStats(),
 		CandidateCache:      CacheStats{Hits: ch, Misses: cm, Size: cn},
 		SignatureIndex:      CacheStats{Hits: ih, Misses: im, Size: in},

@@ -103,11 +103,41 @@ assert d.get("generation", 0) >= 2, d
 assert d.get("triples", 0) > 0, d
 ' "$out"
 
+# Incremental delta reload: the committed golden delta's base is the
+# sample KB the server is serving (fingerprints match across text and
+# snapshot forms), so POST /reload?delta=1 applies it copy-on-write.
+out=$(curl -fsS -X POST --data-binary @testdata/delta/old_to_new.dkbsd "$OPSBASE/reload?delta=1")
+python3 -c '
+import json, sys
+d = json.loads(sys.argv[1])
+assert d.get("delta") is True, d
+assert d.get("deltaOps", 0) > 0, d
+assert d.get("generation", 0) >= 3, d
+' "$out"
+# The delta edits untouched entities: repairs must be unchanged.
+out=$(curl -fsS --raw -X POST --data-binary @testdata/e2e/dirty.csv "$BASE/clean")
+assert_contains "$out" "Back Dromzais,Cist Prize in Chemistry,Jastrea Research Institute,Sturhaven" \
+  "post-delta /clean must repair exactly as before"
+assert_contains "$out" "Doundgrund Poulrin,Prios Prize in Chemistry" \
+  "post-delta /clean must still repair Prize"
+# Replaying the same delta is a stale-base 409: the serving graph's
+# fingerprint moved to the delta's new side.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary @testdata/delta/old_to_new.dkbsd "$OPSBASE/reload?delta=1")
+[ "$code" = 409 ] || fail "stale-base delta replay must 409, got $code"
+# /stats carries the delta accounting.
+curl -fsS "$BASE/stats" | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+assert d.get("kbDeltasApplied", 0) == 1, d.get("kbDeltasApplied")
+assert d.get("kbDeltaTriples", 0) > 0, d.get("kbDeltaTriples")
+'
+
 # /metrics: Prometheus exposition with the ensemble counter series.
 metrics=$(curl -fsS "$OPSBASE/metrics")
 assert_contains "$metrics" "detective_ensemble_proposals_total" "ensemble proposals metric"
 assert_contains "$metrics" 'engine="detective"' "per-engine metric label"
 assert_contains "$metrics" "detective_kb_reload_total" "reload metric"
+assert_contains "$metrics" "detective_kb_delta_applied" "delta apply metric"
 
 stop_server
 echo "=== e2e: single-tenant mode OK ==="
@@ -145,6 +175,27 @@ import json, sys
 d = json.load(sys.stdin)
 names = {t["name"] for t in d["tenants"]}
 assert {"alpha", "beta"} <= names, names
+'
+
+# Per-tenant incremental delta reload: rides the same handler under
+# the tenant prefix, and the tenant must stay resident through it.
+out=$(curl -fsS -X POST --data-binary @testdata/delta/old_to_new.dkbsd "$OPSBASE/v1/beta/reload?delta=1")
+python3 -c '
+import json, sys
+d = json.loads(sys.argv[1])
+assert d.get("delta") is True, d
+assert d.get("generation", 0) >= 2, d
+' "$out"
+out=$(curl -fsS --raw -X POST --data-binary @testdata/e2e/dirty.csv "$BASE/v1/beta/clean")
+assert_contains "$out" "Doundgrund Poulrin,Prios Prize in Chemistry" \
+  "tenant beta post-delta /clean must repair as before"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary @testdata/delta/old_to_new.dkbsd "$OPSBASE/v1/beta/reload?delta=1")
+[ "$code" = 409 ] || fail "tenant stale-base delta replay must 409, got $code"
+curl -fsS "$OPSBASE/registry" | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+beta = next(t for t in d["tenants"] if t["name"] == "beta")
+assert beta["resident"], beta
 '
 metrics=$(curl -fsS "$OPSBASE/metrics")
 assert_contains "$metrics" "detective_ensemble_accepted_total" "registry ensemble metrics"
